@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces one table or figure from the paper (the mapping
+is the per-experiment index in DESIGN.md).  They all share one
+:class:`~repro.bench.harness.ExperimentHarness` built at the paper's
+experimental scale (SF=100 statistics, 20-entry knowledge base, 200-query
+test set, K=2 retrieval).  Measured values are printed as aligned tables so
+``pytest benchmarks/ --benchmark-only`` output can be compared against
+EXPERIMENTS.md directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentHarness
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and some take seconds; a single round
+    keeps the suite fast while still recording wall-clock time per experiment.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

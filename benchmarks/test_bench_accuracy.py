@@ -1,0 +1,27 @@
+"""E5 — Section VI-B accuracy study: 200 test queries, 20-entry KB, K=2.
+
+Paper: 91 % of explanations accurate and informative; the remaining 9 % less
+precise than expert interpretations, including 3.5 % None answers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_percent, format_table
+
+
+def test_bench_accuracy(benchmark, harness):
+    report = run_once(benchmark, harness.accuracy_experiment)
+    rows = [
+        {"metric": "accurate & informative", "paper": "91%", "measured": format_percent(report.accurate_rate)},
+        {"metric": "less precise (total)", "paper": "9%", "measured": format_percent(report.less_precise_rate)},
+        {"metric": "  of which None answers", "paper": "3.5%", "measured": format_percent(report.none_rate)},
+        {"metric": "  of which imprecise", "paper": "-", "measured": format_percent(report.imprecise_rate)},
+        {"metric": "  of which wrong factor", "paper": "-", "measured": format_percent(report.wrong_rate)},
+    ]
+    print()
+    print(format_table(rows, title=f"E5  Explanation accuracy over {report.total} test queries (K=2)"))
+
+    assert report.total == 200
+    # Shape: high-80s/low-90s accuracy, single-digit less-precise bucket.
+    assert 0.85 <= report.accurate_rate <= 0.97
+    assert report.less_precise_rate <= 0.15
+    assert report.none_rate <= 0.08

@@ -1,0 +1,42 @@
+"""E9 — Section VI-D comparison with DBG-PT (and the no-RAG ablation).
+
+The paper reports DBG-PT's qualitative limitations rather than a single
+number: fundamental index-usage errors, over-emphasis of column storage,
+reliance on incomparable cost estimates, and inability to judge relative
+LIMIT/OFFSET values.  This benchmark quantifies those error categories on
+the shared test workload and verifies the RAG pipeline avoids them.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_percent, format_table
+
+
+def test_bench_dbgpt_comparison(benchmark, harness):
+    comparison = run_once(benchmark, harness.dbgpt_comparison)
+    rows = []
+    for method in ("ours", "norag", "dbgpt"):
+        metrics = comparison[method]
+        rows.append(
+            {
+                "method": method,
+                "accurate": format_percent(metrics["accurate"]),
+                "winner correct": format_percent(metrics["winner_correct"]),
+                "cost-compare errors": format_percent(metrics["cost_comparison"]),
+                "index misreads": format_percent(metrics["index_misread"]),
+                "storage over-emphasis": format_percent(metrics["storage_overemphasis"]),
+                "None answers": format_percent(metrics["none"]),
+            }
+        )
+    print()
+    print(format_table(rows, title="E9  Ours vs no-RAG vs DBG-PT (100 test queries)"))
+
+    ours, norag, dbgpt = comparison["ours"], comparison["norag"], comparison["dbgpt"]
+    # Who wins: the RAG pipeline is the most accurate, the diff-only baseline the least.
+    assert ours["accurate"] > norag["accurate"] > dbgpt["accurate"]
+    # DBG-PT exhibits every limitation the paper lists; ours exhibits none of them.
+    assert dbgpt["cost_comparison"] > 0.15
+    assert dbgpt["storage_overemphasis"] > 0.2
+    assert dbgpt["winner_correct"] < 0.9
+    assert ours["cost_comparison"] == 0.0
+    assert ours["winner_correct"] >= 0.9
+    assert ours["storage_overemphasis"] <= 0.1

@@ -1,0 +1,31 @@
+"""E3 — Table II: TP and AP execution plans for Example 1."""
+
+import json
+
+from benchmarks.conftest import run_once
+from repro.htap.engines.base import EngineKind
+
+
+def test_bench_example1_plans(benchmark, harness):
+    example = run_once(benchmark, harness.example1)
+    print()
+    print("E3  Table II — TP plan for Example 1:")
+    print(json.dumps(example.tp_plan_dict, indent=1)[:1200])
+    print("E3  Table II — AP plan for Example 1:")
+    print(json.dumps(example.ap_plan_dict, indent=1)[:1200])
+
+    # Shape checks against the paper's Table II.
+    assert example.tp_plan_dict["Node Type"] == "Group aggregate"
+    tp_text = json.dumps(example.tp_plan_dict)
+    assert tp_text.count("Nested loop inner join") == 2
+    assert "Inner hash join" not in tp_text
+
+    assert example.ap_plan_dict["Node Type"] in ("Aggregate", "Hash aggregate")
+    ap_text = json.dumps(example.ap_plan_dict)
+    assert ap_text.count("Inner hash join") == 2
+    assert "Nested loop" not in ap_text
+
+    # Cost estimates are expressed in incomparable units: AP's number is
+    # orders of magnitude larger even though AP executes faster.
+    assert example.ap_plan_dict["Total Cost"] > 100 * example.tp_plan_dict["Total Cost"]
+    assert example.execution.faster_engine is EngineKind.AP

@@ -1,0 +1,15 @@
+"""E1 — Figure 1: the framework's historical (black) and new-query (red) paths."""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table
+
+
+def test_bench_framework_paths(benchmark, harness):
+    result = run_once(benchmark, harness.framework_paths)
+    print()
+    print(format_table([result], title="E1  Figure 1 framework paths (smoke)"))
+    assert result["knowledge_base_size"] == 20
+    assert result["embedding_size"] == 16
+    assert result["new_query_retrieved"] == 2
+    assert result["new_query_answered"] in (True, False)
+    assert result["historical_has_expert_explanation"]

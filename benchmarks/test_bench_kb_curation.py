@@ -1,0 +1,36 @@
+"""E12 — Knowledge-base maintenance (Section VII future work, implemented).
+
+The paper names two maintenance policies as future work: automatically
+selecting representative queries and expiring stale entries.  This ablation
+measures how well a k-center representative selection covers the
+explanation-factor space compared with a naive selection of the same budget,
+and exercises the stale-expiry policy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_percent, format_table
+
+
+def test_bench_kb_curation(benchmark, harness):
+    result = run_once(benchmark, harness.curation_experiment)
+    rows = [
+        {
+            "policy": "k-center representative selection",
+            "factor coverage": format_percent(result["representative_factor_coverage"]),
+        },
+        {
+            "policy": "first-N (naive) selection",
+            "factor coverage": format_percent(result["random_factor_coverage"]),
+        },
+        {
+            "policy": "stale expiry",
+            "factor coverage": f"kept {int(result['kb_size_after_expiry'])} of {int(result['candidate_pool'])}",
+        },
+    ]
+    print()
+    print(format_table(rows, title="E12  KB curation policies (budget = 20 entries)"))
+
+    assert result["representative_factor_coverage"] >= result["random_factor_coverage"]
+    assert result["representative_factor_coverage"] >= 0.8
+    assert result["kb_size_after_expiry"] == result["budget"]
+    assert result["expired_entries"] == result["candidate_pool"] - result["budget"]

@@ -1,0 +1,28 @@
+"""E11 — Knowledge-base growth (Section VI-B note + HNSW citation).
+
+The paper argues that although the 20-entry knowledge base searches in well
+under 0.1 ms, search will not become the dominant cost as the KB grows,
+citing HNSW-style vector indexing.  This ablation measures search latency
+for growing KB sizes with the flat (exact) store and the HNSW store.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table
+
+
+def test_bench_kb_scaling(benchmark, harness):
+    rows = run_once(benchmark, harness.kb_scaling)
+    print()
+    print(format_table(rows, title="E11  KB search latency vs size (top-2 retrieval, ms per query)"))
+
+    by_store = {}
+    for row in rows:
+        by_store.setdefault(row["store"], {})[row["kb_size"]] = row["search_ms"]
+    # At the paper's 20 entries, either store answers in well under a millisecond.
+    assert by_store["flat"][20.0] < 1.0
+    assert by_store["hnsw"][20.0] < 2.0
+    largest = max(by_store["flat"])
+    # Even at the largest size, retrieval stays far below the ~10 s LLM
+    # generation time, so it never dominates the response time.
+    assert by_store["flat"][largest] < 100.0
+    assert by_store["hnsw"][largest] < 100.0

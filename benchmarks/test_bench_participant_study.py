@@ -1,0 +1,37 @@
+"""E8 — Section VI-C participant study (simulated participants).
+
+Paper: plans-only group — 60 % correct, 8.2 minutes on average, plan
+difficulty 8.5; all initially-wrong participants corrected themselves after
+reading the LLM explanation.  Explanation-from-the-start group — 3.5 minutes
+on average, 100 % correct; explanation difficulty rated 3.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table
+
+
+def test_bench_participant_study(benchmark, harness):
+    report = run_once(benchmark, harness.participant_study)
+    rows = report.as_rows()
+    print()
+    print(format_table(rows, title="E8  Participant study (24 simulated participants, Example 1)"))
+    paper_rows = [
+        {"group": "without_llm", "avg_minutes": 8.2, "correct_fraction": 0.60, "plan_difficulty": 8.5, "explanation_difficulty": 3.0},
+        {"group": "with_llm", "avg_minutes": 3.5, "correct_fraction": 1.00, "plan_difficulty": 8.5, "explanation_difficulty": 3.0},
+    ]
+    print(format_table(paper_rows, title="      paper-reported values"))
+
+    without_llm = report.without_llm
+    with_llm = report.with_llm
+    # Time: explanation roughly halves-to-thirds the time to understanding.
+    assert with_llm.average_minutes < 0.6 * without_llm.average_minutes
+    assert 6.0 <= without_llm.average_minutes <= 11.0
+    assert 2.0 <= with_llm.average_minutes <= 5.0
+    # Correctness: all explanation-group participants get it right; the
+    # plans-only group sits around the paper's 60 %.
+    assert with_llm.correct_fraction == 1.0
+    assert 0.45 <= without_llm.correct_fraction <= 0.8
+    assert without_llm.corrected_fraction == 1.0
+    # Difficulty ratings: plans ~8.5, explanation ~3.
+    assert 7.5 <= without_llm.average_plan_difficulty <= 9.5
+    assert 2.0 <= without_llm.average_explanation_difficulty <= 4.0

@@ -1,0 +1,21 @@
+"""E2 — Table I: prompt engineering (background / task / user context)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table
+
+
+def test_bench_prompt_assembly(benchmark, harness):
+    result = run_once(benchmark, harness.prompt_assembly)
+    rows = [
+        {"section": name, "chars": len(text), "excerpt": text[:70] + "..."}
+        for name, text in result["table_i"].items()
+    ]
+    print()
+    print(format_table(rows, title="E2  Table I prompt sections"))
+    print(
+        f"assembled Example-1 prompt: {result['prompt_chars']} chars, "
+        f"{result['knowledge_blocks']} retrieved KNOWLEDGE blocks"
+    )
+    assert result["contains_cost_guard"], "the prompt must forbid cross-engine cost comparison"
+    assert result["contains_question"]
+    assert result["knowledge_blocks"] == 2

@@ -1,0 +1,26 @@
+"""E10 — Section III-A smart-router claims.
+
+Paper: the tree-CNN router routes queries to the faster engine with high
+accuracy, has a physical model size below 1 MB, and an average inference
+time around (well under) 1 ms.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_percent, format_table
+
+
+def test_bench_router(benchmark, harness):
+    result = run_once(benchmark, harness.router_benchmark)
+    rows = [
+        {"claim": "routing accuracy", "paper": "high", "measured": format_percent(result["routing_accuracy"])},
+        {"claim": "model size (bytes)", "paper": "< 1,000,000", "measured": int(result["model_size_bytes"])},
+        {"claim": "mean inference (ms)", "paper": "~1", "measured": round(result["mean_inference_ms"], 3)},
+        {"claim": "p95 inference (ms)", "paper": "-", "measured": round(result["p95_inference_ms"], 3)},
+        {"claim": "parameters", "paper": "-", "measured": int(result["parameter_count"])},
+    ]
+    print()
+    print(format_table(rows, title="E10  Smart router (tree-CNN) operational claims"))
+
+    assert result["routing_accuracy"] >= 0.9
+    assert result["model_size_bytes"] < 1_000_000
+    assert result["mean_inference_ms"] < 5.0

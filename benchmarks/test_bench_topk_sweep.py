@@ -1,0 +1,38 @@
+"""E6 — Section VI-B retrieval-depth sweep (K = 1..5).
+
+Paper: K=1 drops accuracy to 85 % and raises None answers to 8 %;
+K=2..5 show minimal differences with accuracy between 89 % and 91 %.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_percent, format_table
+
+_PAPER_ACCURACY = {1: "85%", 2: "89-91%", 3: "89-91%", 4: "89-91%", 5: "89-91%"}
+_PAPER_NONE = {1: "8%", 2: "3.5%", 3: "-", 4: "-", 5: "-"}
+
+
+def test_bench_topk_sweep(benchmark, harness):
+    sweep = run_once(benchmark, harness.topk_sweep)
+    rows = []
+    for k, report in sorted(sweep.items()):
+        rows.append(
+            {
+                "K": k,
+                "paper accuracy": _PAPER_ACCURACY[k],
+                "measured accuracy": format_percent(report.accurate_rate),
+                "paper None": _PAPER_NONE[k],
+                "measured None": format_percent(report.none_rate),
+            }
+        )
+    print()
+    print(format_table(rows, title="E6  Retrieval-K sweep (200 test queries)"))
+
+    accuracy = {k: report.accurate_rate for k, report in sweep.items()}
+    none_rate = {k: report.none_rate for k, report in sweep.items()}
+    # Shape: K=1 is the worst configuration and abstains the most; K>=2 are
+    # close to each other and all better than K=1.
+    assert accuracy[1] < min(accuracy[k] for k in (2, 3, 4, 5))
+    assert none_rate[1] >= max(none_rate[k] for k in (2, 3, 4, 5))
+    assert max(accuracy[k] for k in (2, 3, 4, 5)) - min(accuracy[k] for k in (2, 3, 4, 5)) <= 0.06
+    assert 0.80 <= accuracy[1] <= 0.92
+    assert 0.85 <= accuracy[2] <= 0.97

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: DBG-PT-style plan diffing and no-RAG."""
+
+from repro.baselines.dbgpt import DBGPTExplainer
+from repro.baselines.norag import NoRagExplainer
+
+__all__ = ["DBGPTExplainer", "NoRagExplainer"]

@@ -1,0 +1,12 @@
+"""Experiment harness and reporting helpers shared by the benchmark suite."""
+
+from repro.bench.reporting import format_table, format_percent
+from repro.bench.harness import ExperimentHarness, get_default_harness, EXAMPLE1_SQL
+
+__all__ = [
+    "format_table",
+    "format_percent",
+    "ExperimentHarness",
+    "get_default_harness",
+    "EXAMPLE1_SQL",
+]

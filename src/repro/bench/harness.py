@@ -1,0 +1,416 @@
+"""ExperimentHarness — one object that reproduces every table and figure.
+
+Building the experimental setup (HTAP system, labeled workloads, trained
+router, populated knowledge base, explainer) takes a few seconds; the
+harness builds it once and exposes one method per experiment id from
+DESIGN.md.  Benchmarks and examples share the cached default harness via
+:func:`get_default_harness`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from repro.baselines.dbgpt import DBGPTExplainer
+from repro.baselines.norag import NoRagExplainer
+from repro.explainer.evaluation import AccuracyReport, ExpertPanel, Grade
+from repro.explainer.pipeline import Explanation, RagExplainer, entries_from_labeled
+from repro.explainer.timing import LatencyProfile
+from repro.htap.engines.base import EngineKind
+from repro.htap.plan.serialize import plan_to_dict
+from repro.htap.system import HTAPSystem, QueryExecution
+from repro.knowledge.curation import expire_stale_entries, select_representative_queries
+from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.knowledge.vector_store import FlatVectorStore, HNSWVectorStore
+from repro.llm.prompts import PromptBuilder
+from repro.llm.simulated import SimulatedLLM
+from repro.router.router import SmartRouter
+from repro.study.participants import ParticipantPool
+from repro.study.protocol import ParticipantStudy, StudyMaterials, StudyReport
+from repro.workloads.datasets import WorkloadDataset, build_paper_dataset
+from repro.workloads.experts import SimulatedExpert
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.labeling import LabeledQuery, WorkloadLabeler
+
+#: The paper's Example 1 query (Section VI-A), verbatim apart from whitespace.
+EXAMPLE1_SQL = (
+    "SELECT COUNT(*) FROM customer, nation, orders "
+    "WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22', '30', '39', '42', '21') "
+    "AND c_mktsegment = 'machinery' "
+    "AND n_name = 'egypt' AND o_orderstatus = 'p' "
+    "AND o_custkey = c_custkey "
+    "AND n_nationkey = c_nationkey;"
+)
+
+
+@dataclass
+class Example1Result:
+    """Everything the Example-1 benchmarks (Tables II and III) need."""
+
+    sql: str
+    execution: QueryExecution
+    tp_plan_dict: dict[str, Any]
+    ap_plan_dict: dict[str, Any]
+    expert_explanation: str
+    our_explanation: Explanation
+    dbgpt_explanation_text: str
+    dbgpt_claims: dict[str, Any]
+
+    @property
+    def tp_latency_seconds(self) -> float:
+        return self.execution.tp_result.latency_seconds
+
+    @property
+    def ap_latency_seconds(self) -> float:
+        return self.execution.ap_result.latency_seconds
+
+
+@dataclass
+class ExperimentHarness:
+    """Shared experimental setup for all benchmarks."""
+
+    scale_factor: float = 100.0
+    knowledge_base_size: int = 20
+    test_size: int = 200
+    router_training_size: int = 240
+    router_epochs: int = 30
+    top_k: int = 2
+    seed: int = 2024
+
+    system: HTAPSystem = field(init=False)
+    dataset: WorkloadDataset = field(init=False)
+    router: SmartRouter = field(init=False)
+    knowledge_base: KnowledgeBase = field(init=False)
+    llm: SimulatedLLM = field(init=False)
+    explainer: RagExplainer = field(init=False)
+    panel: ExpertPanel = field(init=False)
+    expert: SimulatedExpert = field(init=False)
+    build_seconds: float = field(init=False, default=0.0)
+    _example1_result: Example1Result | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        start = time.perf_counter()
+        self.system = HTAPSystem(scale_factor=self.scale_factor)
+        self.dataset = build_paper_dataset(
+            self.system,
+            knowledge_base_size=self.knowledge_base_size,
+            test_size=self.test_size,
+            router_training_size=self.router_training_size,
+            seed=self.seed,
+        )
+        self.router = SmartRouter(self.system.catalog, seed=13)
+        self.router.fit(self.dataset.router_training, epochs=self.router_epochs)
+        self.expert = SimulatedExpert()
+        self.knowledge_base = KnowledgeBase()
+        self.knowledge_base.add_many(
+            entries_from_labeled(self.dataset.knowledge_base, self.router, self.expert)
+        )
+        self.llm = SimulatedLLM(seed=7)
+        self.explainer = RagExplainer(
+            self.system, self.router, self.knowledge_base, self.llm, top_k=self.top_k
+        )
+        self.panel = ExpertPanel()
+        self.build_seconds = time.perf_counter() - start
+
+    # -------------------------------------------------------------- E1: paths
+    def framework_paths(self) -> dict[str, Any]:
+        """Smoke-run both Figure-1 paths: historical (black) and new (red)."""
+        historical = self.dataset.knowledge_base[0]
+        historical_entry = self.knowledge_base.get(historical.query_id)
+        new_query = self.dataset.test[0]
+        explanation = self.explainer.explain_execution(new_query.execution)
+        return {
+            "knowledge_base_size": len(self.knowledge_base),
+            "historical_entry_id": historical_entry.entry_id,
+            "historical_has_expert_explanation": bool(historical_entry.expert_explanation),
+            "new_query_retrieved": len(explanation.retrieved),
+            "new_query_answered": not explanation.is_none_answer,
+            "embedding_size": self.router.embedding_size,
+        }
+
+    # ------------------------------------------------------------ E2: prompts
+    def prompt_assembly(self) -> dict[str, Any]:
+        """Reproduce Table I and measure the assembled prompt for Example 1."""
+        builder = PromptBuilder(data_size_gb=100.0)
+        example = self.example1()
+        prompt = example.our_explanation.prompt
+        return {
+            "table_i": builder.table_i_rows(),
+            "prompt_chars": len(prompt.text),
+            "knowledge_blocks": len(prompt.knowledge),
+            "contains_cost_guard": "not allowed to compare the cost estimates" in prompt.text,
+            "contains_question": "QUESTION:" in prompt.text,
+        }
+
+    # ------------------------------------------------ E3/E4: Example 1 outputs
+    def _example1_cached(self) -> Example1Result:
+        if getattr(self, "_example1_result", None) is not None:
+            return self._example1_result
+        labeler = WorkloadLabeler(self.system)
+        generator = WorkloadGenerator(seed=0)
+        workload_query = generator.generate_one()
+        # Replace the generated SQL with the paper's exact Example 1 query.
+        workload_query = type(workload_query)(
+            query_id="example-1",
+            sql=EXAMPLE1_SQL,
+            pattern=workload_query.pattern,
+            params={"source": "paper example 1"},
+        )
+        labeled = labeler.label(workload_query)
+        execution = labeled.execution
+        our = self.explainer.explain_execution(execution)
+        dbgpt = DBGPTExplainer(self.system, self.llm).explain_execution(execution)
+        self._example1_result = Example1Result(
+            sql=EXAMPLE1_SQL,
+            execution=execution,
+            tp_plan_dict=plan_to_dict(execution.plan_pair.tp_plan),
+            ap_plan_dict=plan_to_dict(execution.plan_pair.ap_plan),
+            expert_explanation=self.expert.explain(labeled),
+            our_explanation=our,
+            dbgpt_explanation_text=dbgpt.text,
+            dbgpt_claims=dbgpt.claims,
+        )
+        return self._example1_result
+
+    def example1(self) -> Example1Result:
+        return self._example1_cached()
+
+    # --------------------------------------------------------- E5/E6: accuracy
+    def accuracy_experiment(self, top_k: int | None = None) -> AccuracyReport:
+        """Grade the full test set at the given retrieval depth (default: 2)."""
+        k = self.top_k if top_k is None else top_k
+        explainer = RagExplainer(self.system, self.router, self.knowledge_base, self.llm, top_k=k)
+        explanations = [explainer.explain_execution(labeled.execution) for labeled in self.dataset.test]
+        return self.panel.evaluate(self.dataset.test, explanations)
+
+    def topk_sweep(self, ks: tuple[int, ...] = (1, 2, 3, 4, 5)) -> dict[int, AccuracyReport]:
+        return {k: self.accuracy_experiment(top_k=k) for k in ks}
+
+    # ------------------------------------------------------------- E7: latency
+    def latency_breakdown(self, sample_size: int = 40) -> dict[str, Any]:
+        """Average end-to-end latency components over a test-set sample."""
+        sample = self.dataset.test[:sample_size]
+        profiles: list[LatencyProfile] = []
+        for labeled in sample:
+            explanation = self.explainer.explain_execution(labeled.execution)
+            profiles.append(explanation.latency)
+        average = LatencyProfile.average(profiles)
+        return {
+            "samples": len(profiles),
+            "encode_ms": average.encode_seconds * 1000.0,
+            "search_ms": average.search_seconds * 1000.0,
+            "llm_thinking_s": average.llm_thinking_seconds,
+            "llm_generation_s": average.llm_generation_seconds,
+            "total_s": average.total_seconds,
+        }
+
+    # --------------------------------------------------------------- E8: study
+    def participant_study(self, participants: int = 24, seed: int = 99) -> StudyReport:
+        example = self.example1()
+        materials = StudyMaterials.from_dicts(
+            sql=example.sql,
+            tp_plan=example.tp_plan_dict,
+            ap_plan=example.ap_plan_dict,
+            explanation_text=example.our_explanation.text,
+        )
+        study = ParticipantStudy(materials, pool=ParticipantPool(size=participants), seed=seed)
+        return study.run()
+
+    # -------------------------------------------------------- E9: DBG-PT study
+    def dbgpt_comparison(self, sample_size: int = 100) -> dict[str, dict[str, float]]:
+        """Compare our pipeline against DBG-PT and the no-RAG ablation.
+
+        Returns per-method rates: fully accurate (panel grade), correct
+        winner, cost-comparison reliance, index misreads, and storage-led
+        explanations.
+        """
+        sample = self.dataset.test[:sample_size]
+        dbgpt = DBGPTExplainer(self.system, self.llm)
+        norag = NoRagExplainer(self.system, self.llm)
+        results: dict[str, dict[str, float]] = {}
+
+        ours_explanations = [self.explainer.explain_execution(labeled.execution) for labeled in sample]
+        ours_report = self.panel.evaluate(sample, ours_explanations)
+        results["ours"] = self._comparison_row(sample, ours_explanations, ours_report)
+
+        for name, baseline in (("dbgpt", dbgpt), ("norag", norag)):
+            explanations: list[Explanation] = []
+            for labeled in sample:
+                answer = baseline.explain_execution(labeled.execution)
+                explanations.append(self._baseline_as_explanation(labeled, answer))
+            report = self.panel.evaluate(sample, explanations)
+            results[name] = self._comparison_row(sample, explanations, report)
+        return results
+
+    def _baseline_as_explanation(self, labeled: LabeledQuery, answer) -> Explanation:
+        """Wrap a baseline answer in the Explanation shape the panel grades."""
+        prompt = PromptBuilder().build(
+            question=answer_question_stub(labeled),
+            knowledge=[],
+        )
+        return Explanation(
+            sql=labeled.sql,
+            text=answer.text,
+            faster_engine=answer.claimed_winner,
+            retrieved=[],
+            prompt=prompt,
+            response=_fake_response(answer),
+            latency=answer.latency,
+            embedding=self.router.embed_pair(labeled.execution.plan_pair),
+            claims=dict(answer.claims),
+        )
+
+    @staticmethod
+    def _comparison_row(
+        sample: list[LabeledQuery],
+        explanations: list[Explanation],
+        report: AccuracyReport,
+    ) -> dict[str, float]:
+        total = len(sample)
+        winner_correct = 0
+        cost_comparison = 0
+        index_misread = 0
+        storage_led = 0
+        for labeled, explanation in zip(sample, explanations):
+            claims = explanation.claims
+            if claims.get("winner") == labeled.faster_engine.value:
+                winner_correct += 1
+            if claims.get("used_cost_comparison"):
+                cost_comparison += 1
+            if claims.get("index_misread"):
+                index_misread += 1
+            factors = claims.get("factors") or []
+            if factors and factors[0] == "columnar_parallel_scan" and (
+                labeled.ground_truth.primary_factor.value != "columnar_parallel_scan"
+            ):
+                storage_led += 1
+        return {
+            "accurate": report.accurate_rate,
+            "imprecise": report.imprecise_rate,
+            "none": report.none_rate,
+            "wrong": report.wrong_rate,
+            "winner_correct": winner_correct / total,
+            "cost_comparison": cost_comparison / total,
+            "index_misread": index_misread / total,
+            "storage_overemphasis": storage_led / total,
+        }
+
+    # -------------------------------------------------------------- E10: router
+    def router_benchmark(self, sample_size: int = 50) -> dict[str, float]:
+        sample = self.dataset.test[:sample_size]
+        accuracy = self.router.accuracy(sample)
+        timings = []
+        for labeled in sample:
+            decision = self.router.route(labeled.execution.plan_pair)
+            timings.append(decision.inference_seconds)
+        return {
+            "routing_accuracy": accuracy,
+            "model_size_bytes": float(self.router.model_size_bytes()),
+            "parameter_count": float(self.router.parameter_count()),
+            "mean_inference_ms": statistics.mean(timings) * 1000.0,
+            "p95_inference_ms": sorted(timings)[int(0.95 * (len(timings) - 1))] * 1000.0,
+        }
+
+    # --------------------------------------------------------- E11: KB scaling
+    def kb_scaling(self, sizes: tuple[int, ...] = (20, 200, 1000, 5000), k: int = 2) -> list[dict[str, float]]:
+        """Search latency as the knowledge base grows, flat vs HNSW."""
+        rng_entries = entries_from_labeled(self.dataset.knowledge_base, self.router, self.expert)
+        base_vectors = [entry.embedding for entry in rng_entries]
+        import numpy as np
+
+        rows: list[dict[str, float]] = []
+        rng = np.random.default_rng(3)
+        query_vectors = [
+            self.router.embed_pair(labeled.execution.plan_pair) for labeled in self.dataset.test[:20]
+        ]
+        for size in sizes:
+            vectors = []
+            while len(vectors) < size:
+                base = base_vectors[len(vectors) % len(base_vectors)]
+                vectors.append(base + rng.normal(0.0, 0.05, size=base.shape))
+            for store_name, store in (
+                ("flat", FlatVectorStore()),
+                ("hnsw", HNSWVectorStore()),
+            ):
+                for index, vector in enumerate(vectors):
+                    store.add(f"e{index}", vector)
+                start = time.perf_counter()
+                for query in query_vectors:
+                    store.search(query, k)
+                elapsed = (time.perf_counter() - start) / len(query_vectors)
+                rows.append(
+                    {
+                        "kb_size": float(size),
+                        "store": store_name,  # type: ignore[dict-item]
+                        "search_ms": elapsed * 1000.0,
+                    }
+                )
+        return rows
+
+    # -------------------------------------------------------- E12: KB curation
+    def curation_experiment(self, candidate_pool: int = 120, budget: int = 20) -> dict[str, float]:
+        """Representative selection vs random selection, plus stale expiry."""
+        labeler = WorkloadLabeler(self.system)
+        generator = WorkloadGenerator(seed=555)
+        candidates = labeler.label_many(generator.generate(candidate_pool))
+        entries = entries_from_labeled(candidates, self.router, self.expert)
+
+        representative = select_representative_queries(entries, budget)
+        random_pick = entries[:budget]
+
+        def coverage(selection) -> float:
+            selected_factors = {factor for entry in selection for factor in entry.factors}
+            all_factors = {factor for entry in entries for factor in entry.factors}
+            return len(selected_factors) / max(1, len(all_factors))
+
+        kb = KnowledgeBase()
+        kb.add_many(entries)
+        removed = expire_stale_entries(kb, max_entries=budget)
+        return {
+            "candidate_pool": float(candidate_pool),
+            "budget": float(budget),
+            "representative_factor_coverage": coverage(representative),
+            "random_factor_coverage": coverage(random_pick),
+            "expired_entries": float(len(removed)),
+            "kb_size_after_expiry": float(len(kb)),
+        }
+
+    # ----------------------------------------------------------------- helpers
+    def grade_counts(self, report: AccuracyReport) -> dict[str, int]:
+        return {grade.value: report.count(grade) for grade in Grade}
+
+
+def answer_question_stub(labeled: LabeledQuery):
+    """Question attachment for wrapping baseline answers (grading only)."""
+    from repro.llm.prompts import QuestionAttachment
+
+    execution = labeled.execution
+    return QuestionAttachment(
+        sql=labeled.sql,
+        tp_plan=plan_to_dict(execution.plan_pair.tp_plan),
+        ap_plan=plan_to_dict(execution.plan_pair.ap_plan),
+        execution_result=None,
+        faster_engine=None,
+    )
+
+
+def _fake_response(answer):
+    from repro.llm.client import LLMResponse
+
+    return LLMResponse(
+        text=answer.text,
+        thinking_seconds=answer.latency.llm_thinking_seconds,
+        generation_seconds=answer.latency.llm_generation_seconds,
+        model_name="baseline",
+        claims=dict(answer.claims),
+    )
+
+
+@lru_cache(maxsize=1)
+def get_default_harness() -> ExperimentHarness:
+    """The shared harness used by benchmarks and examples (built once)."""
+    return ExperimentHarness()

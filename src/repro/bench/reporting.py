@@ -1,0 +1,53 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep that output aligned and readable in pytest's captured output and in the
+bench log files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.905 -> '90.5%')."""
+    return f"{value * 100.0:.{digits}f}%"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict[str, Any]], *, title: str | None = None) -> str:
+    """Render a list of dictionaries as an aligned text table.
+
+    Column order follows the keys of the first row; missing values render as
+    empty cells.  Returns a string (callers decide whether to print it).
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered = [_cell(row.get(column, "")) for column in columns]
+        rendered_rows.append(rendered)
+        for column, cell in zip(columns, rendered):
+            widths[column] = max(widths[column], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[column]) for column, cell in zip(columns, rendered)))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The paper's core contribution: retrieval-augmented explanation generation."""
+
+from repro.explainer.pipeline import Explanation, RagExplainer, entries_from_labeled
+from repro.explainer.evaluation import AccuracyReport, ExpertPanel, Grade
+from repro.explainer.feedback import FeedbackLoop
+from repro.explainer.timing import LatencyProfile
+from repro.explainer.conversation import ConversationTurn, ExplanationConversation
+
+__all__ = [
+    "RagExplainer",
+    "Explanation",
+    "entries_from_labeled",
+    "ExpertPanel",
+    "Grade",
+    "AccuracyReport",
+    "FeedbackLoop",
+    "LatencyProfile",
+    "ExplanationConversation",
+    "ConversationTurn",
+]

@@ -1,0 +1,145 @@
+"""Conversational follow-up questions (paper Section VI-B).
+
+The paper highlights a side benefit of using an LLM: the user can ask
+follow-up questions about an explanation — e.g. *"why doesn't the predicate
+on the customer table benefit from the index on c_phone?"* — and get an
+in-depth answer (functions applied to an indexed column disable index use).
+
+:class:`ExplanationConversation` keeps the original explanation as context
+and answers follow-ups.  With the offline :class:`~repro.llm.SimulatedLLM`
+the answers come from a small library of grounded follow-up topics (index
+use under functions, cost comparability, storage formats, join strategies,
+LIMIT/OFFSET); a hosted LLM would receive the full conversational prompt
+instead — the prompt is built either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explainer.pipeline import Explanation
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+
+#: Canned grounded answers per follow-up topic, used by the offline simulator
+#: path.  Keys are keyword tuples; the first topic whose keywords all appear
+#: in the question is used.
+_FOLLOW_UP_TOPICS: list[tuple[tuple[str, ...], str]] = [
+    (
+        ("index", "substring"),
+        "Most database systems cannot use a B+-tree index when a function such as SUBSTRING is "
+        "applied directly to the indexed column: the index stores the original column values in "
+        "sorted order, not the function's output, so the predicate has to be evaluated against "
+        "every row. Rewriting the predicate as a range on the raw column (or adding a generated "
+        "column / functional index) would restore index use.",
+    ),
+    (
+        ("index", "phone"),
+        "The index on c_phone stores raw phone numbers in sorted order. Because the filter applies "
+        "SUBSTRING(c_phone, 1, 2) before comparing, the engine cannot seek into the index for the "
+        "matching prefixes and falls back to scanning and filtering every row.",
+    ),
+    (
+        ("cost",),
+        "The cost figures shown in the two plans come from different optimizers with different cost "
+        "units, so they are not comparable across engines: a numerically larger AP cost does not "
+        "mean the AP plan is slower. Only measured execution times can be compared directly.",
+    ),
+    (
+        ("storage", "column"),
+        "The AP engine stores each column separately and compressed, so it reads only the columns "
+        "the query touches and processes them in vectorised batches across all workers; the TP "
+        "engine stores complete rows, so even a two-column query pays for reading entire rows.",
+    ),
+    (
+        ("join",),
+        "A hash join builds an in-memory hash table on the smaller input and probes it once per row "
+        "of the larger input, so its cost grows linearly with the inputs. A nested-loop join "
+        "re-examines the inner input for every outer row, which is only competitive when an index "
+        "makes each probe cheap or the outer input is tiny.",
+    ),
+    (
+        ("offset",),
+        "A large OFFSET forces the engine to produce and discard all the skipped rows before "
+        "returning the requested ones, so the work grows with OFFSET + LIMIT even though the result "
+        "is small; whether a given OFFSET is 'large' depends on how expensive each produced row is.",
+    ),
+    (
+        ("limit",),
+        "LIMIT only caps how many rows are returned; unless an index already provides the requested "
+        "order, the engine still has to process enough of the input to know which rows are in the "
+        "top N before it can stop.",
+    ),
+]
+
+_DEFAULT_FOLLOW_UP = (
+    "Based on the plans and the retrieved historical cases, the dominant factor is the one named in "
+    "the explanation above; if you can share more detail about the schema or the data distribution "
+    "I can refine the answer further."
+)
+
+
+@dataclass
+class ConversationTurn:
+    """One question/answer exchange after the initial explanation."""
+
+    question: str
+    answer: str
+    response: LLMResponse
+
+
+@dataclass
+class ExplanationConversation:
+    """A follow-up conversation anchored on one generated explanation."""
+
+    explanation: Explanation
+    llm: LLMClient
+    turns: list[ConversationTurn] = field(default_factory=list)
+
+    def ask(self, question: str) -> ConversationTurn:
+        """Ask a follow-up question about the explanation."""
+        if not question.strip():
+            raise ValueError("follow-up question must not be empty")
+        prompt = self._build_prompt(question)
+        response = self.llm.generate(
+            LLMRequest(prompt=prompt, attachments={"follow_up": question})
+        )
+        answer = response.text
+        if not response.claims.get("factors") and not response.claims.get("winner"):
+            # Offline simulator path (the generic model reply carries no plan
+            # claims): ground the answer in the follow-up topic library.
+            answer = self._grounded_answer(question)
+            response = LLMResponse(
+                text=answer,
+                thinking_seconds=response.thinking_seconds,
+                generation_seconds=max(1.0, len(answer.split()) / 9.0),
+                model_name=response.model_name,
+                claims={"follow_up": True},
+            )
+        turn = ConversationTurn(question=question, answer=answer, response=response)
+        self.turns.append(turn)
+        return turn
+
+    # ------------------------------------------------------------- internals
+    def _build_prompt(self, question: str) -> str:
+        history = "\n".join(
+            f"User: {turn.question}\nAssistant: {turn.answer}" for turn in self.turns
+        )
+        return "\n\n".join(
+            part
+            for part in (
+                "You previously explained a query performance difference in our HTAP system.",
+                f"Original question (SQL): {self.explanation.sql}",
+                f"Your explanation: {self.explanation.text}",
+                history,
+                f"Follow-up question: {question}",
+            )
+            if part
+        )
+
+    @staticmethod
+    def _grounded_answer(question: str) -> str:
+        lowered = question.lower()
+        for keywords, answer in _FOLLOW_UP_TOPICS:
+            if all(keyword in lowered for keyword in keywords):
+                return answer
+        return _DEFAULT_FOLLOW_UP

@@ -1,0 +1,58 @@
+"""End-to-end latency accounting for the explanation pipeline.
+
+The paper (Section VI-B) breaks the response time into: smart-router encoding
+(< 0.1 ms), knowledge-base search (< 0.1 ms with 20 entries), LLM thinking
+(≤ 2 s) and LLM generation (≈ 10 s).  :class:`LatencyProfile` carries the
+same four components for every generated explanation so the latency
+benchmark can reproduce the breakdown table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LatencyProfile:
+    """Per-explanation latency breakdown (all values in seconds)."""
+
+    encode_seconds: float = 0.0
+    search_seconds: float = 0.0
+    llm_thinking_seconds: float = 0.0
+    llm_generation_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.encode_seconds
+            + self.search_seconds
+            + self.llm_thinking_seconds
+            + self.llm_generation_seconds
+        )
+
+    @property
+    def retrieval_seconds(self) -> float:
+        """Encoding plus search — the part the paper calls near-instantaneous."""
+        return self.encode_seconds + self.search_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "encode_seconds": self.encode_seconds,
+            "search_seconds": self.search_seconds,
+            "llm_thinking_seconds": self.llm_thinking_seconds,
+            "llm_generation_seconds": self.llm_generation_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    @staticmethod
+    def average(profiles: list["LatencyProfile"]) -> "LatencyProfile":
+        """Component-wise mean over a list of profiles."""
+        if not profiles:
+            return LatencyProfile()
+        count = len(profiles)
+        return LatencyProfile(
+            encode_seconds=sum(profile.encode_seconds for profile in profiles) / count,
+            search_seconds=sum(profile.search_seconds for profile in profiles) / count,
+            llm_thinking_seconds=sum(profile.llm_thinking_seconds for profile in profiles) / count,
+            llm_generation_seconds=sum(profile.llm_generation_seconds for profile in profiles) / count,
+        )

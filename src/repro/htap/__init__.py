@@ -1,0 +1,29 @@
+"""Simulated HTAP system (the ByteHTAP stand-in).
+
+This subpackage implements everything the paper's framework expects from the
+underlying database: a TPC-H catalog with statistics, a SQL front end, a
+row-oriented TP engine and a column-oriented AP engine (each with its own
+optimizer and cost model), and an execution-latency model that determines
+which engine actually runs a query faster.
+"""
+
+from repro.htap.catalog import Catalog, Column, ColumnType, Index, Table
+from repro.htap.engines.base import EngineKind
+from repro.htap.engines.execution import ExecutionResult, HardwareProfile
+from repro.htap.statistics import StatisticsCatalog
+from repro.htap.system import HTAPSystem, PlanPair, QueryExecution
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Index",
+    "Table",
+    "EngineKind",
+    "ExecutionResult",
+    "HardwareProfile",
+    "StatisticsCatalog",
+    "HTAPSystem",
+    "PlanPair",
+    "QueryExecution",
+]

@@ -1,0 +1,430 @@
+"""TPC-H catalog for the simulated HTAP system.
+
+The paper evaluates on a 100 GB TPC-H dataset (scale factor 100) loaded into
+ByteHTAP.  This module provides the schema metadata the rest of the system
+needs: tables, columns, column types, primary/foreign keys, secondary
+indexes, and base cardinalities scaled by an arbitrary scale factor.
+
+The catalog is deliberately *metadata only*: the engines never materialise
+100 GB of rows.  The statistics module (`repro.htap.statistics`) layers
+per-column distributions on top of this catalog so that selectivity and
+cardinality estimation behave like a real optimizer's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ColumnType(enum.Enum):
+    """Logical column types used by the TPC-H schema."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    CHAR = "char"
+    VARCHAR = "varchar"
+    DATE = "date"
+
+
+#: Fixed storage width (bytes) per column type, used by the storage layer and
+#: the cost models to estimate scan volumes.
+TYPE_WIDTH_BYTES = {
+    ColumnType.INTEGER: 4,
+    ColumnType.BIGINT: 8,
+    ColumnType.DECIMAL: 8,
+    ColumnType.CHAR: 16,
+    ColumnType.VARCHAR: 48,
+    ColumnType.DATE: 4,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column in a table.
+
+    ``distinct_fraction`` expresses the number of distinct values as a
+    fraction of the table cardinality (1.0 for a key, small for low-cardinality
+    attributes such as ``o_orderstatus``).  ``fixed_distinct`` overrides it
+    with an absolute distinct count when the domain does not scale with the
+    table (e.g. 25 nations, 3 order statuses).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+    distinct_fraction: float = 1.0
+    fixed_distinct: int | None = None
+    width_override: int | None = None
+
+    @property
+    def width_bytes(self) -> int:
+        """Storage width of a single value of this column."""
+        if self.width_override is not None:
+            return self.width_override
+        return TYPE_WIDTH_BYTES[self.type]
+
+    def distinct_values(self, table_rows: int) -> int:
+        """Number of distinct values given the owning table's cardinality."""
+        if self.fixed_distinct is not None:
+            return max(1, min(self.fixed_distinct, table_rows))
+        return max(1, int(round(table_rows * self.distinct_fraction)))
+
+
+@dataclass(frozen=True)
+class Index:
+    """A secondary (or primary) index on one or more columns of a table."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    primary: bool = False
+
+    @property
+    def leading_column(self) -> str:
+        return self.columns[0]
+
+
+@dataclass
+class Table:
+    """A table: columns, key structure, and base cardinality per scale factor."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...]
+    #: Row count at scale factor 1; scaled linearly except for fixed tables.
+    base_rows: int
+    #: Tables such as ``nation``/``region`` do not grow with the scale factor.
+    scales_with_sf: bool = True
+    foreign_keys: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._columns_by_name = {column.name: column for column in self.columns}
+        missing = [name for name in self.primary_key if name not in self._columns_by_name]
+        if missing:
+            raise ValueError(f"primary key columns {missing} not in table {self.name}")
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising ``KeyError`` with context."""
+        try:
+            return self._columns_by_name[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns_by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def row_count(self, scale_factor: float) -> int:
+        """Cardinality of the table at the given TPC-H scale factor."""
+        if not self.scales_with_sf:
+            return self.base_rows
+        return int(round(self.base_rows * scale_factor))
+
+    def row_width_bytes(self) -> int:
+        """Width of a full row (sum of column widths), used by the row store."""
+        return sum(column.width_bytes for column in self.columns)
+
+
+def _tpch_tables() -> list[Table]:
+    """Construct the eight TPC-H tables with realistic metadata."""
+    region = Table(
+        name="region",
+        columns=[
+            Column("r_regionkey", ColumnType.INTEGER, distinct_fraction=1.0),
+            Column("r_name", ColumnType.CHAR, fixed_distinct=5),
+            Column("r_comment", ColumnType.VARCHAR, fixed_distinct=5, width_override=120),
+        ],
+        primary_key=("r_regionkey",),
+        base_rows=5,
+        scales_with_sf=False,
+    )
+    nation = Table(
+        name="nation",
+        columns=[
+            Column("n_nationkey", ColumnType.INTEGER, distinct_fraction=1.0),
+            Column("n_name", ColumnType.CHAR, fixed_distinct=25),
+            Column("n_regionkey", ColumnType.INTEGER, fixed_distinct=5),
+            Column("n_comment", ColumnType.VARCHAR, fixed_distinct=25, width_override=120),
+        ],
+        primary_key=("n_nationkey",),
+        base_rows=25,
+        scales_with_sf=False,
+        foreign_keys={"n_regionkey": ("region", "r_regionkey")},
+    )
+    supplier = Table(
+        name="supplier",
+        columns=[
+            Column("s_suppkey", ColumnType.INTEGER, distinct_fraction=1.0),
+            Column("s_name", ColumnType.CHAR, distinct_fraction=1.0),
+            Column("s_address", ColumnType.VARCHAR, distinct_fraction=1.0),
+            Column("s_nationkey", ColumnType.INTEGER, fixed_distinct=25),
+            Column("s_phone", ColumnType.CHAR, distinct_fraction=1.0),
+            Column("s_acctbal", ColumnType.DECIMAL, distinct_fraction=0.9),
+            Column("s_comment", ColumnType.VARCHAR, distinct_fraction=1.0, width_override=100),
+        ],
+        primary_key=("s_suppkey",),
+        base_rows=10_000,
+        foreign_keys={"s_nationkey": ("nation", "n_nationkey")},
+    )
+    customer = Table(
+        name="customer",
+        columns=[
+            Column("c_custkey", ColumnType.INTEGER, distinct_fraction=1.0),
+            Column("c_name", ColumnType.VARCHAR, distinct_fraction=1.0),
+            Column("c_address", ColumnType.VARCHAR, distinct_fraction=1.0),
+            Column("c_nationkey", ColumnType.INTEGER, fixed_distinct=25),
+            Column("c_phone", ColumnType.CHAR, distinct_fraction=1.0),
+            Column("c_acctbal", ColumnType.DECIMAL, distinct_fraction=0.9),
+            Column("c_mktsegment", ColumnType.CHAR, fixed_distinct=5),
+            Column("c_comment", ColumnType.VARCHAR, distinct_fraction=1.0, width_override=100),
+        ],
+        primary_key=("c_custkey",),
+        base_rows=150_000,
+        foreign_keys={"c_nationkey": ("nation", "n_nationkey")},
+    )
+    orders = Table(
+        name="orders",
+        columns=[
+            Column("o_orderkey", ColumnType.BIGINT, distinct_fraction=1.0),
+            Column("o_custkey", ColumnType.INTEGER, distinct_fraction=0.1),
+            Column("o_orderstatus", ColumnType.CHAR, fixed_distinct=3, width_override=1),
+            Column("o_totalprice", ColumnType.DECIMAL, distinct_fraction=0.9),
+            Column("o_orderdate", ColumnType.DATE, fixed_distinct=2_406),
+            Column("o_orderpriority", ColumnType.CHAR, fixed_distinct=5),
+            Column("o_clerk", ColumnType.CHAR, distinct_fraction=0.001),
+            Column("o_shippriority", ColumnType.INTEGER, fixed_distinct=1),
+            Column("o_comment", ColumnType.VARCHAR, distinct_fraction=1.0, width_override=70),
+        ],
+        primary_key=("o_orderkey",),
+        base_rows=1_500_000,
+        foreign_keys={"o_custkey": ("customer", "c_custkey")},
+    )
+    lineitem = Table(
+        name="lineitem",
+        columns=[
+            Column("l_orderkey", ColumnType.BIGINT, distinct_fraction=0.25),
+            Column("l_partkey", ColumnType.INTEGER, distinct_fraction=0.033),
+            Column("l_suppkey", ColumnType.INTEGER, distinct_fraction=0.0017),
+            Column("l_linenumber", ColumnType.INTEGER, fixed_distinct=7),
+            Column("l_quantity", ColumnType.DECIMAL, fixed_distinct=50),
+            Column("l_extendedprice", ColumnType.DECIMAL, distinct_fraction=0.2),
+            Column("l_discount", ColumnType.DECIMAL, fixed_distinct=11),
+            Column("l_tax", ColumnType.DECIMAL, fixed_distinct=9),
+            Column("l_returnflag", ColumnType.CHAR, fixed_distinct=3, width_override=1),
+            Column("l_linestatus", ColumnType.CHAR, fixed_distinct=2, width_override=1),
+            Column("l_shipdate", ColumnType.DATE, fixed_distinct=2_526),
+            Column("l_commitdate", ColumnType.DATE, fixed_distinct=2_466),
+            Column("l_receiptdate", ColumnType.DATE, fixed_distinct=2_554),
+            Column("l_shipinstruct", ColumnType.CHAR, fixed_distinct=4),
+            Column("l_shipmode", ColumnType.CHAR, fixed_distinct=7),
+            Column("l_comment", ColumnType.VARCHAR, distinct_fraction=0.6, width_override=40),
+        ],
+        primary_key=("l_orderkey", "l_linenumber"),
+        base_rows=6_000_000,
+        foreign_keys={
+            "l_orderkey": ("orders", "o_orderkey"),
+            "l_partkey": ("part", "p_partkey"),
+            "l_suppkey": ("supplier", "s_suppkey"),
+        },
+    )
+    part = Table(
+        name="part",
+        columns=[
+            Column("p_partkey", ColumnType.INTEGER, distinct_fraction=1.0),
+            Column("p_name", ColumnType.VARCHAR, distinct_fraction=1.0),
+            Column("p_mfgr", ColumnType.CHAR, fixed_distinct=5),
+            Column("p_brand", ColumnType.CHAR, fixed_distinct=25),
+            Column("p_type", ColumnType.VARCHAR, fixed_distinct=150),
+            Column("p_size", ColumnType.INTEGER, fixed_distinct=50),
+            Column("p_container", ColumnType.CHAR, fixed_distinct=40),
+            Column("p_retailprice", ColumnType.DECIMAL, distinct_fraction=0.2),
+            Column("p_comment", ColumnType.VARCHAR, distinct_fraction=0.8, width_override=20),
+        ],
+        primary_key=("p_partkey",),
+        base_rows=200_000,
+    )
+    partsupp = Table(
+        name="partsupp",
+        columns=[
+            Column("ps_partkey", ColumnType.INTEGER, distinct_fraction=0.25),
+            Column("ps_suppkey", ColumnType.INTEGER, distinct_fraction=0.0125),
+            Column("ps_availqty", ColumnType.INTEGER, fixed_distinct=10_000),
+            Column("ps_supplycost", ColumnType.DECIMAL, distinct_fraction=0.12),
+            Column("ps_comment", ColumnType.VARCHAR, distinct_fraction=0.9, width_override=125),
+        ],
+        primary_key=("ps_partkey", "ps_suppkey"),
+        base_rows=800_000,
+        foreign_keys={
+            "ps_partkey": ("part", "p_partkey"),
+            "ps_suppkey": ("supplier", "s_suppkey"),
+        },
+    )
+    return [region, nation, supplier, customer, orders, lineitem, part, partsupp]
+
+
+def _default_indexes(include_fk_indexes: bool) -> list[Index]:
+    """Indexes present on the TP (row) engine out of the box.
+
+    Primary-key indexes always exist.  Foreign-key indexes are optional:
+    the plans in the paper's Example 1 fall back to nested-loop joins with
+    "no index available" on the join columns, so the default configuration
+    matches that setting; workloads that want the "index available" regime
+    pass ``include_fk_indexes=True`` or create indexes explicitly.  The AP
+    engine is a column store and never uses B+-tree indexes.
+    """
+    indexes: list[Index] = []
+    for table in _tpch_tables():
+        indexes.append(
+            Index(
+                name=f"pk_{table.name}",
+                table=table.name,
+                columns=table.primary_key,
+                unique=True,
+                primary=True,
+            )
+        )
+        if not include_fk_indexes:
+            continue
+        for column_name in table.foreign_keys:
+            indexes.append(
+                Index(
+                    name=f"fk_{table.name}_{column_name}",
+                    table=table.name,
+                    columns=(column_name,),
+                )
+            )
+    return indexes
+
+
+class Catalog:
+    """Schema catalog shared by both engines of the simulated HTAP system.
+
+    Parameters
+    ----------
+    scale_factor:
+        TPC-H scale factor; the paper uses SF=100 (≈100 GB).
+    include_fk_indexes:
+        Whether secondary indexes on foreign-key columns exist on the TP
+        engine.  Defaults to False, matching the paper's Example 1 plans.
+    """
+
+    def __init__(self, scale_factor: float = 100.0, *, include_fk_indexes: bool = False):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.include_fk_indexes = include_fk_indexes
+        self._tables: dict[str, Table] = {table.name: table for table in _tpch_tables()}
+        self._indexes: dict[str, Index] = {}
+        for index in _default_indexes(include_fk_indexes):
+            self._indexes[index.name] = index
+
+    # ------------------------------------------------------------------ tables
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def row_count(self, table_name: str) -> int:
+        return self.table(table_name).row_count(self.scale_factor)
+
+    def resolve_column(self, column_name: str) -> tuple[Table, Column]:
+        """Find the unique table owning ``column_name``.
+
+        TPC-H column names carry a table prefix (``c_``, ``o_``, ...) so a bare
+        column name is unambiguous; this mirrors how the paper's queries are
+        written (no table aliases).
+        """
+        matches = [
+            (table, table.column(column_name))
+            for table in self._tables.values()
+            if table.has_column(column_name)
+        ]
+        if not matches:
+            raise KeyError(f"no table defines column {column_name!r}")
+        if len(matches) > 1:
+            owners = [table.name for table, _ in matches]
+            raise KeyError(f"column {column_name!r} is ambiguous across {owners}")
+        return matches[0]
+
+    # ----------------------------------------------------------------- indexes
+    @property
+    def indexes(self) -> list[Index]:
+        return list(self._indexes.values())
+
+    def indexes_on(self, table_name: str) -> list[Index]:
+        return [index for index in self._indexes.values() if index.table == table_name.lower()]
+
+    def index_on_column(self, table_name: str, column_name: str) -> Index | None:
+        """Return an index whose *leading* column is ``column_name``, if any."""
+        for index in self.indexes_on(table_name):
+            if index.leading_column == column_name:
+                return index
+        return None
+
+    def create_index(self, table_name: str, column_name: str, *, unique: bool = False) -> Index:
+        """Create a secondary index (the paper's ``c_phone`` example).
+
+        Returns the created (or existing equivalent) index.
+        """
+        table = self.table(table_name)
+        if not table.has_column(column_name):
+            raise KeyError(f"table {table_name!r} has no column {column_name!r}")
+        existing = self.index_on_column(table_name, column_name)
+        if existing is not None:
+            return existing
+        index = Index(
+            name=f"idx_{table.name}_{column_name}",
+            table=table.name,
+            columns=(column_name,),
+            unique=unique,
+        )
+        self._indexes[index.name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        if index_name not in self._indexes:
+            raise KeyError(f"unknown index {index_name!r}")
+        if self._indexes[index_name].primary:
+            raise ValueError("cannot drop a primary-key index")
+        del self._indexes[index_name]
+
+    # ------------------------------------------------------------------- sizes
+    def table_size_bytes(self, table_name: str) -> int:
+        """Uncompressed size of a table (row format)."""
+        table = self.table(table_name)
+        return table.row_width_bytes() * self.row_count(table_name)
+
+    def database_size_bytes(self) -> int:
+        return sum(self.table_size_bytes(name) for name in self._tables)
+
+    def foreign_key_target(self, table_name: str, column_name: str) -> tuple[str, str] | None:
+        """Return ``(referenced_table, referenced_column)`` for an FK column."""
+        table = self.table(table_name)
+        return table.foreign_keys.get(column_name)
+
+    def join_is_pk_fk(self, left_table: str, left_column: str, right_table: str, right_column: str) -> bool:
+        """True when the join predicate matches a declared PK–FK relationship."""
+        forward = self.foreign_key_target(left_table, left_column)
+        backward = self.foreign_key_target(right_table, right_column)
+        if forward == (self.table(right_table).name, right_column):
+            return True
+        if backward == (self.table(left_table).name, left_column):
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Catalog(scale_factor={self.scale_factor}, tables={len(self._tables)})"

@@ -1,0 +1,25 @@
+"""The two execution engines of the simulated HTAP system.
+
+``tp`` is the row-oriented transactional engine; ``ap`` is the
+column-oriented analytical engine.  Each has its own optimizer and cost
+model (with deliberately incomparable cost units, as the paper stresses) and
+shares the analytical execution-latency model used to decide which engine is
+actually faster for a query.
+"""
+
+from repro.htap.engines.base import EngineKind
+from repro.htap.engines.query_analysis import QueryAnalysis, analyze_query
+from repro.htap.engines.tp_optimizer import TPOptimizer
+from repro.htap.engines.ap_optimizer import APOptimizer
+from repro.htap.engines.execution import ExecutionResult, ExecutionSimulator, HardwareProfile
+
+__all__ = [
+    "EngineKind",
+    "QueryAnalysis",
+    "analyze_query",
+    "TPOptimizer",
+    "APOptimizer",
+    "ExecutionResult",
+    "ExecutionSimulator",
+    "HardwareProfile",
+]

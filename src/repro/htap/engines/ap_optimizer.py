@@ -1,0 +1,247 @@
+"""Optimizer for the AP (column-oriented, analytical) engine.
+
+The AP engine models a modern vectorised column store:
+
+* Access paths: columnar table scans that read only the referenced columns;
+  filters are applied directly above the scan (there are no B+-tree indexes,
+  so any secondary index created for the TP engine is irrelevant here).
+* Joins: hash joins only.  The smaller input becomes the build side and is
+  wrapped in a ``Hash`` node, exactly like the AP plan in the paper's
+  Table II (``Inner hash join`` with children ``[probe, Hash[build]]``).
+* Aggregation: plain ``Aggregate`` for scalar aggregates, ``Hash aggregate``
+  for GROUP BY.
+* Top-N: a ``Top-N sort`` operator that keeps a bounded heap.
+
+Join ordering is greedy: the largest filtered input becomes the initial probe
+side and smaller inputs are hashed, which is how left-deep hash-join
+pipelines are usually laid out.
+
+Cost figures use the AP cost unit (see :mod:`repro.htap.engines.cost`) and
+are intentionally on a very different numeric scale from TP costs.
+"""
+
+from __future__ import annotations
+
+from repro.htap.catalog import Catalog
+from repro.htap.engines.base import EngineKind
+from repro.htap.engines.cost import APCostModel
+from repro.htap.engines.query_analysis import QueryAnalysis, TableAccessInfo, analyze_query
+from repro.htap.plan.nodes import NodeType, PlanNode
+from repro.htap.sql import ast
+from repro.htap.statistics import StatisticsCatalog
+from repro.htap.storage.column_store import ColumnStoreModel
+
+
+class APOptimizer:
+    """Plan generator for the AP engine."""
+
+    engine = EngineKind.AP
+
+    def __init__(self, catalog: Catalog, statistics: StatisticsCatalog | None = None):
+        self.catalog = catalog
+        self.statistics = statistics or StatisticsCatalog(catalog)
+        self.column_model = ColumnStoreModel(catalog)
+        self.cost_model = APCostModel(catalog, self.column_model)
+
+    # ------------------------------------------------------------------ public
+    def optimize(self, query: ast.Query) -> PlanNode:
+        """Produce an AP physical plan for ``query``."""
+        analysis = analyze_query(query, self.catalog, self.statistics)
+        return self.optimize_analysis(analysis)
+
+    def optimize_analysis(self, analysis: QueryAnalysis) -> PlanNode:
+        plan = self._build_join_tree(analysis)
+        plan = self._add_aggregation(plan, analysis)
+        plan = self._add_order_and_limit(plan, analysis)
+        plan.extra.setdefault("Engine", self.engine.value)
+        plan.extra.setdefault("Storage", self.engine.storage_format)
+        return plan
+
+    # ------------------------------------------------------------ access paths
+    def _access_path(self, info: TableAccessInfo) -> PlanNode:
+        """Columnar scan (+ filter) for one base table."""
+        table_name = info.table
+        columns = sorted(info.required_columns)
+        scan = PlanNode(
+            node_type=NodeType.TABLE_SCAN,
+            total_cost=self.cost_model.column_scan_cost(table_name, columns, float(info.base_rows)),
+            plan_rows=float(info.base_rows),
+            relation=table_name,
+            output_columns=tuple(columns),
+            extra={"Storage": "column-oriented"},
+        )
+        if info.filters:
+            return PlanNode(
+                node_type=NodeType.FILTER,
+                total_cost=scan.total_cost + self.cost_model.filter_cost(info.base_rows),
+                plan_rows=info.filtered_rows,
+                predicate=info.filter_text,
+                children=[scan],
+            )
+        return scan
+
+    # -------------------------------------------------------------- join tree
+    def _join_order(self, analysis: QueryAnalysis) -> list[str]:
+        """Largest filtered input first (it becomes the outer probe side)."""
+        remaining = set(analysis.tables)
+        order: list[str] = []
+        if not remaining:
+            return order
+        first = max(remaining, key=lambda name: analysis.access[name].filtered_rows)
+        order.append(first)
+        remaining.discard(first)
+        while remaining:
+            connected = [name for name in remaining if analysis.edges_between(set(order), name)]
+            candidates = connected or sorted(remaining)
+            next_table = max(candidates, key=lambda name: analysis.access[name].filtered_rows)
+            order.append(next_table)
+            remaining.discard(next_table)
+        return order
+
+    def _build_join_tree(self, analysis: QueryAnalysis) -> PlanNode:
+        order = self._join_order(analysis)
+        if not order:
+            raise ValueError("query references no tables")
+        if len(order) == 1:
+            return self._access_path(analysis.access[order[0]])
+
+        # The probe (largest) side stays on the left; every further table is
+        # built into a hash table.  When the remaining side is itself a join
+        # result, the smaller subtree still ends up on the build side.
+        probe = self._access_path(analysis.access[order[0]])
+        probe_rows = probe.plan_rows
+        placed = {order[0]}
+        build_subtree: PlanNode | None = None
+        build_rows = 0.0
+        build_tables: set[str] = set()
+        for table_name in order[1:]:
+            access = self._access_path(analysis.access[table_name])
+            if build_subtree is None:
+                build_subtree = access
+                build_rows = access.plan_rows
+                build_tables = {table_name}
+                continue
+            edges = analysis.edges_between(build_tables, table_name)
+            selectivity = self._edge_selectivity(analysis, edges, table_name)
+            output_rows = max(1.0, build_rows * access.plan_rows * selectivity)
+            smaller, larger = (
+                (access, build_subtree) if access.plan_rows <= build_rows else (build_subtree, access)
+            )
+            hash_node = PlanNode(
+                node_type=NodeType.HASH,
+                total_cost=smaller.total_cost,
+                plan_rows=smaller.plan_rows,
+                children=[smaller],
+            )
+            join_cost = (
+                larger.total_cost
+                + hash_node.total_cost
+                + self.cost_model.hash_join_cost(smaller.plan_rows, larger.plan_rows)
+            )
+            build_subtree = PlanNode(
+                node_type=NodeType.HASH_JOIN,
+                total_cost=join_cost,
+                plan_rows=output_rows,
+                predicate=" AND ".join(edge.describe() for edge in edges) if edges else None,
+                children=[larger, hash_node],
+            )
+            build_rows = output_rows
+            build_tables.add(table_name)
+
+        assert build_subtree is not None
+        edges = [
+            edge
+            for edge in analysis.join_edges
+            if (edge.involves(order[0]) and any(edge.involves(table) for table in build_tables))
+        ]
+        selectivity = self._edge_selectivity(analysis, edges, order[0])
+        output_rows = max(1.0, probe_rows * build_rows * selectivity)
+        hash_node = PlanNode(
+            node_type=NodeType.HASH,
+            total_cost=build_subtree.total_cost,
+            plan_rows=build_subtree.plan_rows,
+            children=[build_subtree],
+        )
+        join_cost = (
+            probe.total_cost
+            + hash_node.total_cost
+            + self.cost_model.hash_join_cost(build_subtree.plan_rows, probe_rows)
+        )
+        return PlanNode(
+            node_type=NodeType.HASH_JOIN,
+            total_cost=join_cost,
+            plan_rows=output_rows,
+            predicate=" AND ".join(edge.describe() for edge in edges) if edges else None,
+            children=[probe, hash_node],
+        )
+
+    def _edge_selectivity(self, analysis: QueryAnalysis, edges: list, table_name: str) -> float:
+        """Combined selectivity of the join edges connecting ``table_name``."""
+        if not edges:
+            return 1.0
+        selectivity = 1.0
+        for edge in edges:
+            other_table, other_column = edge.other_side(table_name)
+            selectivity *= self.statistics.estimate_join_selectivity(
+                other_table, other_column, table_name, edge.column_for(table_name)
+            )
+        return selectivity
+
+    # ------------------------------------------------------------ aggregation
+    def _add_aggregation(self, plan: PlanNode, analysis: QueryAnalysis) -> PlanNode:
+        if not analysis.is_aggregation:
+            return plan
+        group_count = self.statistics.estimate_group_count(plan.plan_rows, analysis.group_by_columns)
+        if analysis.group_by_columns:
+            return PlanNode(
+                node_type=NodeType.HASH_AGGREGATE,
+                total_cost=plan.total_cost + self.cost_model.aggregate_cost(plan.plan_rows, group_count),
+                plan_rows=group_count,
+                predicate=", ".join(column for _table, column in analysis.group_by_columns),
+                children=[plan],
+            )
+        return PlanNode(
+            node_type=NodeType.AGGREGATE,
+            total_cost=plan.total_cost + self.cost_model.aggregate_cost(plan.plan_rows, 1.0),
+            plan_rows=1.0,
+            children=[plan],
+        )
+
+    # --------------------------------------------------------- order and limit
+    def _add_order_and_limit(self, plan: PlanNode, analysis: QueryAnalysis) -> PlanNode:
+        limit_rows = analysis.limit
+        offset_rows = analysis.offset or 0
+        if analysis.order_by_columns and limit_rows is not None:
+            keep = limit_rows + offset_rows
+            plan = PlanNode(
+                node_type=NodeType.TOP_N_SORT,
+                total_cost=plan.total_cost + self.cost_model.top_n_sort_cost(plan.plan_rows, max(1, keep)),
+                plan_rows=float(min(plan.plan_rows, keep)),
+                predicate=", ".join(
+                    f"{column} {'DESC' if descending else 'ASC'}"
+                    for _table, column, descending in analysis.order_by_columns
+                ),
+                extra={"Limit": str(limit_rows), "Offset": str(offset_rows)},
+                children=[plan],
+            )
+        elif analysis.order_by_columns:
+            plan = PlanNode(
+                node_type=NodeType.SORT,
+                total_cost=plan.total_cost + self.cost_model.sort_cost(plan.plan_rows),
+                plan_rows=plan.plan_rows,
+                predicate=", ".join(
+                    f"{column} {'DESC' if descending else 'ASC'}"
+                    for _table, column, descending in analysis.order_by_columns
+                ),
+                children=[plan],
+            )
+        if limit_rows is not None:
+            output = float(min(plan.plan_rows, limit_rows))
+            plan = PlanNode(
+                node_type=NodeType.LIMIT,
+                total_cost=plan.total_cost + 0.01 * (limit_rows + offset_rows),
+                plan_rows=output,
+                predicate=f"LIMIT {limit_rows}" + (f" OFFSET {offset_rows}" if offset_rows else ""),
+                children=[plan],
+            )
+        return plan

@@ -1,0 +1,32 @@
+"""Common engine definitions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class EngineKind(enum.Enum):
+    """The two engines of the HTAP system, named as in the paper."""
+
+    TP = "TP"
+    AP = "AP"
+
+    @property
+    def storage_format(self) -> str:
+        """Storage orientation, used in plan annotations and prompts."""
+        if self is EngineKind.TP:
+            return "row-oriented"
+        return "column-oriented"
+
+    @property
+    def description(self) -> str:
+        if self is EngineKind.TP:
+            return "row-oriented transactional engine (OLTP)"
+        return "column-oriented analytical engine (OLAP)"
+
+    def other(self) -> "EngineKind":
+        """The opposite engine (TP <-> AP)."""
+        return EngineKind.AP if self is EngineKind.TP else EngineKind.TP
+
+    def __str__(self) -> str:
+        return self.value

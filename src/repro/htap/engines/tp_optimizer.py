@@ -1,0 +1,316 @@
+"""Optimizer for the TP (row-oriented, transactional) engine.
+
+The TP engine models a classic OLTP row store:
+
+* Access paths: full heap scan, or B+-tree index scan when an index-eligible
+  predicate exists on an indexed column (function-wrapped columns never
+  qualify, which is the paper's ``SUBSTRING(c_phone, ...)`` trap).
+* Joins: nested-loop joins only — plain nested loop when the inner join
+  column has no index, index nested-loop when it does.  There is no hash
+  join, matching the plans in the paper's Table II.
+* Aggregation: sort-based "Group aggregate".
+* Top-N: Sort + Limit, except when a single-table ORDER BY column is the
+  leading column of an index — then the index delivers the order and the
+  scan stops after LIMIT+OFFSET rows (the case where TP wins top-N queries).
+
+Join ordering is greedy smallest-estimated-cardinality-first along the join
+graph, which is what a simple OLTP optimizer does and reproduces the shape of
+the paper's Example 1 plan (nation -> customer -> orders).
+"""
+
+from __future__ import annotations
+
+from repro.htap.catalog import Catalog
+from repro.htap.engines.base import EngineKind
+from repro.htap.engines.cost import TPCostModel
+from repro.htap.engines.query_analysis import QueryAnalysis, TableAccessInfo, analyze_query
+from repro.htap.plan.nodes import NodeType, PlanNode
+from repro.htap.sql import ast
+from repro.htap.statistics import StatisticsCatalog
+from repro.htap.storage.row_store import RowStoreModel
+
+#: An index path is only attractive when it touches at most this fraction of
+#: the table; beyond that a sequential scan is cheaper (random I/O dominates).
+INDEX_SCAN_SELECTIVITY_THRESHOLD = 0.05
+#: Index nested-loop joins are chosen when the outer side is estimated below
+#: this many rows; with a huge outer the repeated lookups lose to other plans.
+INDEX_JOIN_MAX_OUTER_ROWS = 5_000_000
+
+
+class TPOptimizer:
+    """Plan generator for the TP engine."""
+
+    engine = EngineKind.TP
+
+    def __init__(self, catalog: Catalog, statistics: StatisticsCatalog | None = None):
+        self.catalog = catalog
+        self.statistics = statistics or StatisticsCatalog(catalog)
+        self.row_model = RowStoreModel(catalog)
+        self.cost_model = TPCostModel(catalog, self.row_model)
+
+    # ------------------------------------------------------------------ public
+    def optimize(self, query: ast.Query) -> PlanNode:
+        """Produce a TP physical plan for ``query``."""
+        analysis = analyze_query(query, self.catalog, self.statistics)
+        return self.optimize_analysis(analysis)
+
+    def optimize_analysis(self, analysis: QueryAnalysis) -> PlanNode:
+        plan = self._build_join_tree(analysis)
+        plan = self._add_aggregation(plan, analysis)
+        plan = self._add_order_and_limit(plan, analysis)
+        plan.extra.setdefault("Engine", self.engine.value)
+        plan.extra.setdefault("Storage", self.engine.storage_format)
+        return plan
+
+    # ------------------------------------------------------------ access paths
+    def _access_path(self, info: TableAccessInfo, *, ordered_column: str | None = None) -> PlanNode:
+        """Choose scan + filter operators for one base table.
+
+        ``ordered_column`` asks for the output to be ordered by that column if
+        an index can provide the order for free (used for top-N pushdown).
+        """
+        table_name = info.table
+        best_filter = info.best_indexable_filter()
+        index = None
+        if best_filter is not None and best_filter.column is not None:
+            index = self.catalog.index_on_column(table_name, best_filter.column)
+        ordered_index = None
+        if ordered_column is not None:
+            ordered_index = self.catalog.index_on_column(table_name, ordered_column)
+
+        use_filter_index = (
+            index is not None
+            and best_filter is not None
+            and best_filter.selectivity <= INDEX_SCAN_SELECTIVITY_THRESHOLD
+        )
+        if use_filter_index:
+            matching = info.base_rows * best_filter.selectivity
+            scan = PlanNode(
+                node_type=NodeType.INDEX_SCAN,
+                total_cost=self.cost_model.index_scan_cost(index, matching),
+                plan_rows=max(1.0, matching),
+                relation=table_name,
+                index_name=index.name,
+                predicate=str(best_filter.column) + " (index condition)",
+            )
+            remaining = [
+                predicate
+                for predicate, estimate in zip(info.filters, info.filter_estimates)
+                if estimate is not best_filter
+            ]
+            if remaining:
+                residual_selectivity = info.combined_selectivity / best_filter.selectivity
+                rows = max(1.0, scan.plan_rows * residual_selectivity)
+                return PlanNode(
+                    node_type=NodeType.FILTER,
+                    total_cost=scan.total_cost + self.cost_model.filter_cost(scan.plan_rows, len(remaining)),
+                    plan_rows=rows,
+                    predicate=" AND ".join(str(predicate) for predicate in remaining),
+                    children=[scan],
+                )
+            return scan
+
+        if ordered_index is not None and not info.filters:
+            # Ordered full index scan (used for top-N when no filter exists).
+            scan = PlanNode(
+                node_type=NodeType.INDEX_SCAN,
+                total_cost=self.cost_model.index_scan_cost(ordered_index, info.base_rows) * 0.5,
+                plan_rows=float(info.base_rows),
+                relation=table_name,
+                index_name=ordered_index.name,
+                extra={"Ordered": ordered_column or ""},
+            )
+            return scan
+
+        scan = PlanNode(
+            node_type=NodeType.TABLE_SCAN,
+            total_cost=self.cost_model.sequential_scan_cost(table_name),
+            plan_rows=float(info.base_rows),
+            relation=table_name,
+        )
+        if info.filters:
+            return PlanNode(
+                node_type=NodeType.FILTER,
+                total_cost=scan.total_cost + self.cost_model.filter_cost(info.base_rows, len(info.filters)),
+                plan_rows=info.filtered_rows,
+                predicate=info.filter_text,
+                children=[scan],
+            )
+        return scan
+
+    # -------------------------------------------------------------- join tree
+    def _join_order(self, analysis: QueryAnalysis) -> list[str]:
+        """Greedy join order: start from the smallest filtered table, then
+        repeatedly add the smallest table connected to what is already placed."""
+        remaining = set(analysis.tables)
+        order: list[str] = []
+        if not remaining:
+            return order
+        first = min(remaining, key=lambda name: analysis.access[name].filtered_rows)
+        order.append(first)
+        remaining.discard(first)
+        while remaining:
+            connected = [
+                name for name in remaining if analysis.edges_between(set(order), name)
+            ]
+            candidates = connected or sorted(remaining)
+            next_table = min(candidates, key=lambda name: analysis.access[name].filtered_rows)
+            order.append(next_table)
+            remaining.discard(next_table)
+        return order
+
+    def _build_join_tree(self, analysis: QueryAnalysis) -> PlanNode:
+        order = self._join_order(analysis)
+        if not order:
+            raise ValueError("query references no tables")
+        ordered_column = None
+        if len(order) == 1 and analysis.is_top_n and analysis.order_by_columns:
+            table, column, _descending = analysis.order_by_columns[0]
+            if table == order[0]:
+                ordered_column = column
+        current = self._access_path(analysis.access[order[0]], ordered_column=ordered_column)
+        placed = {order[0]}
+        current_rows = current.plan_rows
+        for table_name in order[1:]:
+            edges = analysis.edges_between(placed, table_name)
+            inner_info = analysis.access[table_name]
+            inner_join_column = edges[0].column_for(table_name) if edges else None
+            join_index = (
+                self.catalog.index_on_column(table_name, inner_join_column)
+                if inner_join_column is not None
+                else None
+            )
+            join_selectivity = 1.0
+            predicate_text = " AND ".join(edge.describe() for edge in edges) if edges else None
+            if edges:
+                edge = edges[0]
+                outer_table, outer_column = edge.other_side(table_name)
+                join_selectivity = self.statistics.estimate_join_selectivity(
+                    outer_table, outer_column, table_name, edge.column_for(table_name)
+                )
+            output_rows = max(1.0, current_rows * inner_info.filtered_rows * join_selectivity)
+            use_index_join = (
+                join_index is not None
+                and edges
+                and current_rows <= INDEX_JOIN_MAX_OUTER_ROWS
+            )
+            if use_index_join:
+                matches_per_probe = max(1.0, inner_info.filtered_rows * join_selectivity)
+                lookup = PlanNode(
+                    node_type=NodeType.INDEX_LOOKUP,
+                    total_cost=self.cost_model.index_scan_cost(join_index, matches_per_probe),
+                    plan_rows=matches_per_probe,
+                    relation=table_name,
+                    index_name=join_index.name,
+                    predicate=inner_info.filter_text,
+                )
+                join_cost = current.total_cost + self.cost_model.index_nested_loop_join_cost(
+                    current_rows, join_index, matches_per_probe
+                )
+                # Apply residual single-table filters during the lookup.
+                output_rows = max(1.0, output_rows * inner_info.combined_selectivity)
+                current = PlanNode(
+                    node_type=NodeType.INDEX_NESTED_LOOP_JOIN,
+                    total_cost=join_cost,
+                    plan_rows=output_rows,
+                    predicate=predicate_text,
+                    children=[current, lookup],
+                )
+            else:
+                inner = self._access_path(inner_info)
+                join_cost = self.cost_model.nested_loop_join_cost(
+                    current_rows, inner.total_cost, inner.plan_rows
+                ) + current.total_cost
+                current = PlanNode(
+                    node_type=NodeType.NESTED_LOOP_JOIN,
+                    total_cost=join_cost,
+                    plan_rows=output_rows,
+                    predicate=predicate_text,
+                    children=[current, inner],
+                )
+            placed.add(table_name)
+            current_rows = current.plan_rows
+        return current
+
+    # ------------------------------------------------------------ aggregation
+    def _add_aggregation(self, plan: PlanNode, analysis: QueryAnalysis) -> PlanNode:
+        if not analysis.is_aggregation:
+            return plan
+        group_count = self.statistics.estimate_group_count(plan.plan_rows, analysis.group_by_columns)
+        aggregate_cost = plan.total_cost + self.cost_model.aggregate_cost(plan.plan_rows, group_count)
+        if analysis.group_by_columns:
+            group_text = ", ".join(column for _table, column in analysis.group_by_columns)
+            if group_count > 10_000:
+                # Many groups: sort-based grouping (sort on the grouping keys).
+                sort = PlanNode(
+                    node_type=NodeType.SORT,
+                    total_cost=plan.total_cost + self.cost_model.sort_cost(plan.plan_rows),
+                    plan_rows=plan.plan_rows,
+                    predicate=group_text,
+                    children=[plan],
+                )
+                return PlanNode(
+                    node_type=NodeType.GROUP_AGGREGATE,
+                    total_cost=sort.total_cost + self.cost_model.aggregate_cost(plan.plan_rows, group_count),
+                    plan_rows=group_count,
+                    children=[sort],
+                )
+            # Few groups: stream the input into an in-memory group table.
+            return PlanNode(
+                node_type=NodeType.GROUP_AGGREGATE,
+                total_cost=aggregate_cost,
+                plan_rows=group_count,
+                predicate=group_text,
+                children=[plan],
+            )
+        return PlanNode(
+            node_type=NodeType.GROUP_AGGREGATE,
+            total_cost=aggregate_cost,
+            plan_rows=1.0,
+            children=[plan],
+        )
+
+    # --------------------------------------------------------- order and limit
+    def _add_order_and_limit(self, plan: PlanNode, analysis: QueryAnalysis) -> PlanNode:
+        limit_rows = analysis.limit
+        offset_rows = analysis.offset or 0
+        if analysis.order_by_columns:
+            order_provided = any(
+                node.extra.get("Ordered") == analysis.order_by_columns[0][1]
+                for node in plan.walk()
+            )
+            if not order_provided:
+                order_text = ", ".join(
+                    f"{column} {'DESC' if descending else 'ASC'}"
+                    for _table, column, descending in analysis.order_by_columns
+                )
+                if limit_rows is not None:
+                    # Bounded-heap sort: the row engine keeps only the top
+                    # LIMIT+OFFSET rows while scanning its input.
+                    keep = limit_rows + offset_rows
+                    plan = PlanNode(
+                        node_type=NodeType.TOP_N_SORT,
+                        total_cost=plan.total_cost + self.cost_model.sort_cost(min(plan.plan_rows, max(2.0, keep * 4.0))),
+                        plan_rows=float(min(plan.plan_rows, max(1, keep))),
+                        predicate=order_text,
+                        extra={"Limit": str(limit_rows), "Offset": str(offset_rows)},
+                        children=[plan],
+                    )
+                else:
+                    plan = PlanNode(
+                        node_type=NodeType.SORT,
+                        total_cost=plan.total_cost + self.cost_model.sort_cost(plan.plan_rows),
+                        plan_rows=plan.plan_rows,
+                        predicate=order_text,
+                        children=[plan],
+                    )
+        if limit_rows is not None:
+            output = float(min(plan.plan_rows, limit_rows))
+            plan = PlanNode(
+                node_type=NodeType.LIMIT,
+                total_cost=plan.total_cost + 0.01 * (limit_rows + offset_rows),
+                plan_rows=output,
+                predicate=f"LIMIT {limit_rows}" + (f" OFFSET {offset_rows}" if offset_rows else ""),
+                children=[plan],
+            )
+        return plan

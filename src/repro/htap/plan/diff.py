@@ -1,0 +1,137 @@
+"""Structural plan diffing.
+
+DBG-PT (the baseline the paper compares against in Section VI-D) reasons
+about *differences* between two plans.  This module computes a structural
+diff between a TP plan and an AP plan: operators present in one but not the
+other, differing join strategies for the same logical join, differing access
+paths for the same base table, and the (incomparable) cost estimates.
+
+The diff is consumed by :mod:`repro.baselines.dbgpt` to build its prompt, and
+is also useful on its own for debugging the simulator's optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.htap.plan.nodes import JOIN_NODE_TYPES, SCAN_NODE_TYPES, PlanNode
+
+
+@dataclass
+class ScanDifference:
+    """How the two plans access the same base table."""
+
+    table: str
+    tp_access: str | None
+    ap_access: str | None
+    tp_index: str | None
+    ap_index: str | None
+
+    @property
+    def differs(self) -> bool:
+        return self.tp_access != self.ap_access or self.tp_index != self.ap_index
+
+    def describe(self) -> str:
+        tp_part = f"{self.tp_access or 'not scanned'}"
+        if self.tp_index:
+            tp_part += f" using {self.tp_index}"
+        ap_part = f"{self.ap_access or 'not scanned'}"
+        if self.ap_index:
+            ap_part += f" using {self.ap_index}"
+        return f"table {self.table}: TP={tp_part}, AP={ap_part}"
+
+
+@dataclass
+class PlanDiff:
+    """Structural differences between a TP plan and an AP plan."""
+
+    tp_only_operators: list[str] = field(default_factory=list)
+    ap_only_operators: list[str] = field(default_factory=list)
+    shared_operators: list[str] = field(default_factory=list)
+    tp_join_methods: list[str] = field(default_factory=list)
+    ap_join_methods: list[str] = field(default_factory=list)
+    scan_differences: list[ScanDifference] = field(default_factory=list)
+    tp_total_cost: float = 0.0
+    ap_total_cost: float = 0.0
+    tp_node_count: int = 0
+    ap_node_count: int = 0
+
+    @property
+    def join_strategy_differs(self) -> bool:
+        return sorted(self.tp_join_methods) != sorted(self.ap_join_methods)
+
+    @property
+    def cost_ratio(self) -> float:
+        """AP cost divided by TP cost.
+
+        Included because DBG-PT (incorrectly, per the paper) reasons from this
+        ratio even though the cost units differ between engines.
+        """
+        if self.tp_total_cost <= 0:
+            return float("inf")
+        return self.ap_total_cost / self.tp_total_cost
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable bullet list used in the DBG-PT prompt."""
+        lines: list[str] = []
+        if self.join_strategy_differs:
+            lines.append(
+                "Join strategies differ: TP uses "
+                f"[{', '.join(self.tp_join_methods) or 'no joins'}], AP uses "
+                f"[{', '.join(self.ap_join_methods) or 'no joins'}]."
+            )
+        for difference in self.scan_differences:
+            if difference.differs:
+                lines.append("Access paths differ for " + difference.describe() + ".")
+        if self.tp_only_operators:
+            lines.append("Operators only in TP plan: " + ", ".join(sorted(set(self.tp_only_operators))) + ".")
+        if self.ap_only_operators:
+            lines.append("Operators only in AP plan: " + ", ".join(sorted(set(self.ap_only_operators))) + ".")
+        lines.append(
+            f"Optimizer cost estimates: TP={self.tp_total_cost:.1f}, AP={self.ap_total_cost:.1f} "
+            "(different cost units)."
+        )
+        return lines
+
+
+def _operator_multiset(plan: PlanNode) -> list[str]:
+    return [node.node_type.value for node in plan.walk()]
+
+
+def _access_for_table(plan: PlanNode, table: str) -> tuple[str | None, str | None]:
+    for node in plan.walk():
+        if node.node_type in SCAN_NODE_TYPES and node.relation == table:
+            return node.node_type.value, node.index_name
+    return None, None
+
+
+def diff_plans(tp_plan: PlanNode, ap_plan: PlanNode) -> PlanDiff:
+    """Compute the structural diff between a TP plan and an AP plan."""
+    tp_operators = _operator_multiset(tp_plan)
+    ap_operators = _operator_multiset(ap_plan)
+    tp_set, ap_set = set(tp_operators), set(ap_operators)
+    diff = PlanDiff(
+        tp_only_operators=sorted(tp_set - ap_set),
+        ap_only_operators=sorted(ap_set - tp_set),
+        shared_operators=sorted(tp_set & ap_set),
+        tp_join_methods=[node.node_type.value for node in tp_plan.walk() if node.node_type in JOIN_NODE_TYPES],
+        ap_join_methods=[node.node_type.value for node in ap_plan.walk() if node.node_type in JOIN_NODE_TYPES],
+        tp_total_cost=tp_plan.total_cost,
+        ap_total_cost=ap_plan.total_cost,
+        tp_node_count=tp_plan.node_count(),
+        ap_node_count=ap_plan.node_count(),
+    )
+    tables = sorted(set(tp_plan.scanned_tables()) | set(ap_plan.scanned_tables()))
+    for table in tables:
+        tp_access, tp_index = _access_for_table(tp_plan, table)
+        ap_access, ap_index = _access_for_table(ap_plan, table)
+        diff.scan_differences.append(
+            ScanDifference(
+                table=table,
+                tp_access=tp_access,
+                ap_access=ap_access,
+                tp_index=tp_index,
+                ap_index=ap_index,
+            )
+        )
+    return diff

@@ -1,0 +1,290 @@
+"""Abstract syntax tree for the SQL subset.
+
+The AST mirrors the structure of the paper's workload: single-block
+SELECT queries over one or more TPC-H tables, with conjunctive/disjunctive
+filters, equi-join predicates in the WHERE clause, optional GROUP BY,
+ORDER BY, LIMIT and OFFSET.  Expressions are small immutable dataclasses so
+they hash/compare structurally, which the plan cache and tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------- expressions
+class Expression:
+    """Base class for scalar expressions."""
+
+    def referenced_columns(self) -> set[str]:
+        """Names of all columns referenced anywhere in this expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified by a table name."""
+
+    name: str
+    table: str | None = None
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A string or numeric constant."""
+
+    value: str | int | float
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` in a select list or ``COUNT(*)``."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar or aggregate function call such as ``SUBSTRING`` or ``COUNT``."""
+
+    name: str
+    args: tuple[Expression, ...] = ()
+    distinct: bool = False
+
+    def referenced_columns(self) -> set[str]:
+        columns: set[str] = set()
+        for argument in self.args:
+            columns |= argument.referenced_columns()
+        return columns
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(argument) for argument in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name.upper()}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison: ``left <op> right``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator} {self.right}"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``operand IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Literal, ...]
+    negated: bool = False
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        values = ", ".join(str(value) for value in self.values)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"{self.operand} {keyword} ({values})"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``operand BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+
+    def referenced_columns(self) -> set[str]:
+        return (
+            self.operand.referenced_columns()
+            | self.low.referenced_columns()
+            | self.high.referenced_columns()
+        )
+
+    def __str__(self) -> str:
+        return f"{self.operand} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``operand LIKE 'pattern'``."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand} {keyword} '{self.pattern}'"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``operand IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {keyword}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+# ------------------------------------------------------------------------ query structure
+@dataclass(frozen=True)
+class SelectItem:
+    """One item in the SELECT list, with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expression} AS {self.alias}"
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One item in the ORDER BY clause."""
+
+    expression: Expression
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expression} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed single-block SELECT query."""
+
+    select_items: tuple[SelectItem, ...]
+    tables: tuple[str, ...]
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    raw_sql: str = field(default="", compare=False)
+
+    @property
+    def has_aggregation(self) -> bool:
+        """True when the select list contains an aggregate function."""
+        return any(
+            isinstance(item.expression, FunctionCall) and item.expression.is_aggregate
+            for item in self.select_items
+        ) or bool(self.group_by)
+
+    @property
+    def is_top_n(self) -> bool:
+        """True for the paper's "Top-N" pattern: ORDER BY with a LIMIT."""
+        return bool(self.order_by) and self.limit is not None
+
+    def referenced_columns(self) -> set[str]:
+        """All columns referenced anywhere in the query."""
+        columns: set[str] = set()
+        for item in self.select_items:
+            columns |= item.expression.referenced_columns()
+        if self.where is not None:
+            columns |= self.where.referenced_columns()
+        for expression in self.group_by:
+            columns |= expression.referenced_columns()
+        for item in self.order_by:
+            columns |= item.expression.referenced_columns()
+        return columns
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Flatten a WHERE clause into its top-level AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]
+
+
+def combine_conjuncts(parts: list[Expression]) -> Expression | None:
+    """Rebuild an AND tree from a list of conjuncts (inverse of :func:`conjuncts`)."""
+    if not parts:
+        return None
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result
+
+
+def is_join_predicate(expression: Expression) -> bool:
+    """True for an equality between two bare column references."""
+    return (
+        isinstance(expression, Comparison)
+        and expression.operator == "="
+        and isinstance(expression.left, ColumnRef)
+        and isinstance(expression.right, ColumnRef)
+    )

@@ -1,0 +1,13 @@
+"""Storage layer simulation: row store (TP) and column store (AP)."""
+
+from repro.htap.storage.btree import BPlusTree
+from repro.htap.storage.row_store import RowStoreStats, RowStoreModel
+from repro.htap.storage.column_store import ColumnStoreStats, ColumnStoreModel
+
+__all__ = [
+    "BPlusTree",
+    "RowStoreStats",
+    "RowStoreModel",
+    "ColumnStoreStats",
+    "ColumnStoreModel",
+]

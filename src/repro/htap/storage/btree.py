@@ -1,0 +1,202 @@
+"""An in-memory B+-tree.
+
+The TP engine's row store keeps primary-key and secondary indexes in
+B+-trees.  The optimizer only needs the *shape* of the tree (height, leaf
+count) to cost index lookups, but the tree itself is a real, working data
+structure: the unit and property-based tests insert, look up, range-scan and
+delete through it, which keeps the storage model honest.
+
+Keys can be any orderable value; values are opaque (typically row ids).
+Duplicate keys are supported (secondary indexes are generally non-unique).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator
+
+
+class _Node:
+    """Internal or leaf node."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[Any] = []
+        # For internal nodes: children[i] covers keys < keys[i].
+        self.children: list[_Node] = []
+        # For leaf nodes: values[i] is the list of values for keys[i].
+        self.values: list[list[Any]] = []
+        self.next_leaf: _Node | None = None
+
+
+class BPlusTree:
+    """A B+-tree with configurable fanout (order).
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node; nodes split when they exceed it.
+    """
+
+    def __init__(self, order: int = 64):
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self.order = order
+        self._root: _Node = _Node(is_leaf=True)
+        self._size = 0
+
+    # ----------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaves (1 for an empty tree)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def leaf_count(self) -> int:
+        count = 0
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            count += 1
+            node = node.next_leaf
+        return count
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``(key, value)``; duplicate keys accumulate values."""
+        root = self._root
+        result = self._insert_into(root, key, value)
+        if result is not None:
+            middle_key, right = result
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [middle_key]
+            new_root.children = [root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: _Node, key: Any, value: Any) -> tuple[Any, _Node] | None:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        result = self._insert_into(node.children[index], key, value)
+        if result is None:
+            return None
+        middle_key, right = result
+        node.keys.insert(index, middle_key)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        middle_key = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return middle_key, right
+
+    # ----------------------------------------------------------------- lookup
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Any) -> list[Any]:
+        """Return all values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def range_scan(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` in order."""
+        leaf = self._find_leaf(low)
+        index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    return
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, values in zip(node.keys, node.values):
+                for value in values:
+                    yield key, value
+            node = node.next_leaf
+
+    def delete(self, key: Any) -> int:
+        """Remove all entries under ``key``; return how many were removed.
+
+        Deletion does not rebalance (leaves may under-fill); this keeps the
+        implementation simple and is fine for a statistics-only storage model.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            removed = len(leaf.values[index])
+            del leaf.keys[index]
+            del leaf.values[index]
+            self._size -= removed
+            return removed
+        return 0
+
+    # -------------------------------------------------------------- estimates
+    @staticmethod
+    def estimated_height(entry_count: int, order: int = 64) -> int:
+        """Estimated tree height for ``entry_count`` keys without building it.
+
+        The optimizer uses this to cost index lookups on tables whose data is
+        never materialised (SF=100 cardinalities).
+        """
+        if entry_count <= 1:
+            return 1
+        return max(1, math.ceil(math.log(max(2, entry_count), max(2, order // 2))))

@@ -1,0 +1,116 @@
+"""The RAG knowledge base (paper Section IV).
+
+A key-value store whose keys are plan-pair embeddings (from the smart
+router) and whose values are the full knowledge entries (plan details,
+execution result, expert explanation).  The retriever searches it for the
+top-K most similar plan pairs; experts can add new entries and correct
+existing ones at any time (the paper's feedback loop).
+
+The backing vector index is pluggable (flat or HNSW) so the KB-scaling
+ablation can compare both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.vector_store import FlatVectorStore, SearchResult, VectorStore
+
+
+@dataclass
+class RetrievedKnowledge:
+    """One retrieval hit: the entry plus its distance and rank."""
+
+    entry: KnowledgeEntry
+    distance: float
+    rank: int
+
+    @property
+    def similarity(self) -> float:
+        """Convenience: cosine similarity when the store uses cosine distance."""
+        return 1.0 - self.distance
+
+
+@dataclass
+class RetrievalResult:
+    """Top-K retrieval outcome with the time it took."""
+
+    hits: list[RetrievedKnowledge]
+    search_seconds: float
+
+    @property
+    def search_ms(self) -> float:
+        return self.search_seconds * 1000.0
+
+    def entries(self) -> list[KnowledgeEntry]:
+        return [hit.entry for hit in self.hits]
+
+
+class KnowledgeBase:
+    """Embedding-keyed store of historical queries and expert explanations."""
+
+    def __init__(self, vector_store: VectorStore | None = None):
+        self.vector_store = vector_store if vector_store is not None else FlatVectorStore()
+        self._entries: dict[str, KnowledgeEntry] = {}
+        self._insert_counter = 0
+
+    # ------------------------------------------------------------------ write
+    def add(self, entry: KnowledgeEntry) -> None:
+        """Insert a new entry (raises on duplicate ids)."""
+        if entry.entry_id in self._entries:
+            raise KeyError(f"duplicate entry id {entry.entry_id!r}")
+        self._insert_counter += 1
+        entry.inserted_at = self._insert_counter
+        self._entries[entry.entry_id] = entry
+        self.vector_store.add(entry.entry_id, entry.embedding)
+
+    def add_many(self, entries: list[KnowledgeEntry]) -> None:
+        for entry in entries:
+            self.add(entry)
+
+    def remove(self, entry_id: str) -> KnowledgeEntry:
+        """Remove an entry (used by the stale-expiry curation policy)."""
+        if entry_id not in self._entries:
+            raise KeyError(f"unknown entry id {entry_id!r}")
+        self.vector_store.remove(entry_id)
+        return self._entries.pop(entry_id)
+
+    def correct(self, entry_id: str, corrected_explanation: str, factors: tuple[str, ...] | None = None) -> None:
+        """Apply an expert correction to an existing entry (paper's feedback loop)."""
+        self.get(entry_id).apply_correction(corrected_explanation, factors)
+
+    # ------------------------------------------------------------------- read
+    def get(self, entry_id: str) -> KnowledgeEntry:
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise KeyError(f"unknown entry id {entry_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: str) -> bool:
+        return entry_id in self._entries
+
+    def entries(self) -> list[KnowledgeEntry]:
+        return list(self._entries.values())
+
+    # ---------------------------------------------------------------- retrieve
+    def retrieve(self, embedding: np.ndarray, k: int = 2) -> RetrievalResult:
+        """Top-K most similar historical plan pairs for ``embedding``.
+
+        ``k=2`` is the paper's default retrieval depth.
+        """
+        start = time.perf_counter()
+        raw: list[SearchResult] = self.vector_store.search(np.asarray(embedding, dtype=np.float64), k)
+        elapsed = time.perf_counter() - start
+        hits = [
+            RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
+            for rank, result in enumerate(raw, start=1)
+            if result.key in self._entries
+        ]
+        return RetrievalResult(hits=hits, search_seconds=elapsed)

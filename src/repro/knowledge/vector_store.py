@@ -1,0 +1,328 @@
+"""Vector stores for the knowledge base.
+
+Two interchangeable implementations:
+
+* :class:`FlatVectorStore` — exact brute-force search.  With the paper's 20
+  entries this is already well under 0.1 ms per query, which is all the paper
+  needs.
+* :class:`HNSWVectorStore` — a from-scratch Hierarchical Navigable Small
+  World graph (Malkov & Yashunin), the index the paper cites as the reason
+  retrieval will not become a bottleneck as the knowledge base grows.  Used
+  by the KB-scaling ablation benchmark.
+
+Both support cosine and Euclidean distances and deletion by id (needed for
+the stale-entry expiry policies).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One nearest-neighbour hit."""
+
+    key: str
+    distance: float
+
+
+def _as_matrix(vector: np.ndarray) -> np.ndarray:
+    array = np.asarray(vector, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("vectors must be 1-D")
+    return array
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """1 - cosine similarity, with zero vectors treated as maximally distant."""
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0
+    return 1.0 - float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b))
+
+
+_METRICS = {"cosine": cosine_distance, "euclidean": euclidean_distance}
+
+
+class VectorStore:
+    """Interface shared by the flat and HNSW stores."""
+
+    def __init__(self, metric: str = "cosine"):
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
+        self.metric = metric
+        self._distance = _METRICS[metric]
+
+    # -- implemented by subclasses ------------------------------------------
+    def add(self, key: str, vector: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def remove(self, key: str) -> None:
+        raise NotImplementedError
+
+    def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+    def add_many(self, items: Iterable[tuple[str, np.ndarray]]) -> None:
+        for key, vector in items:
+            self.add(key, vector)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.keys()
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+
+class FlatVectorStore(VectorStore):
+    """Exact nearest-neighbour search by scanning all vectors."""
+
+    def __init__(self, metric: str = "cosine"):
+        super().__init__(metric)
+        self._keys: list[str] = []
+        self._vectors: list[np.ndarray] = []
+        self._index_of: dict[str, int] = {}
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        if key in self._index_of:
+            raise KeyError(f"duplicate key {key!r}")
+        self._index_of[key] = len(self._keys)
+        self._keys.append(key)
+        self._vectors.append(_as_matrix(vector))
+
+    def remove(self, key: str) -> None:
+        if key not in self._index_of:
+            raise KeyError(f"unknown key {key!r}")
+        index = self._index_of.pop(key)
+        self._keys.pop(index)
+        self._vectors.pop(index)
+        # Re-number the remaining keys after the removed position.
+        for position in range(index, len(self._keys)):
+            self._index_of[self._keys[position]] = position
+
+    def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
+        if k <= 0 or not self._keys:
+            return []
+        query = _as_matrix(vector)
+        matrix = np.vstack(self._vectors)
+        if self.metric == "cosine":
+            norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
+            norms[norms == 0.0] = 1.0
+            similarities = matrix @ query / norms
+            distances = 1.0 - similarities
+        else:
+            distances = np.linalg.norm(matrix - query, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [SearchResult(key=self._keys[int(i)], distance=float(distances[int(i)])) for i in order]
+
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class _HNSWNode:
+    __slots__ = ("key", "vector", "neighbors", "deleted")
+
+    def __init__(self, key: str, vector: np.ndarray, level: int):
+        self.key = key
+        self.vector = vector
+        # neighbors[layer] -> list of node ids
+        self.neighbors: list[list[int]] = [[] for _ in range(level + 1)]
+        self.deleted = False
+
+    @property
+    def max_level(self) -> int:
+        return len(self.neighbors) - 1
+
+
+class HNSWVectorStore(VectorStore):
+    """Hierarchical Navigable Small World approximate nearest-neighbour index.
+
+    Parameters follow the original paper's naming: ``M`` is the maximum
+    number of neighbours per layer, ``ef_construction`` / ``ef_search``
+    control the candidate-list sizes during insertion and querying.
+    Deletions are handled by tombstoning (deleted nodes are skipped in
+    results but still used for graph navigation), which is how most
+    production HNSW implementations behave.
+    """
+
+    def __init__(
+        self,
+        metric: str = "cosine",
+        *,
+        M: int = 12,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: int = 42,
+    ):
+        super().__init__(metric)
+        if M < 2:
+            raise ValueError("M must be at least 2")
+        self.M = M
+        self.max_M0 = 2 * M
+        self.ef_construction = max(ef_construction, M)
+        self.ef_search = max(ef_search, 1)
+        self._level_multiplier = 1.0 / math.log(M)
+        self._rng = random.Random(seed)
+        self._nodes: list[_HNSWNode] = []
+        self._id_of: dict[str, int] = {}
+        self._entry_point: int | None = None
+        self._live_count = 0
+
+    # ------------------------------------------------------------------ basic
+    def keys(self) -> list[str]:
+        return [node.key for node in self._nodes if not node.deleted]
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    # -------------------------------------------------------------------- add
+    def add(self, key: str, vector: np.ndarray) -> None:
+        if key in self._id_of:
+            raise KeyError(f"duplicate key {key!r}")
+        vector = _as_matrix(vector)
+        level = self._random_level()
+        node = _HNSWNode(key, vector, level)
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+        self._id_of[key] = node_id
+        self._live_count += 1
+
+        if self._entry_point is None:
+            self._entry_point = node_id
+            return
+
+        entry = self._entry_point
+        entry_level = self._nodes[entry].max_level
+        current = entry
+        # Greedy descent through the upper layers.
+        for layer in range(entry_level, level, -1):
+            current = self._greedy_search(vector, current, layer)
+        # Insert into each layer from min(level, entry_level) down to 0.
+        for layer in range(min(level, entry_level), -1, -1):
+            candidates = self._search_layer(vector, [current], layer, self.ef_construction)
+            neighbors = self._select_neighbors(vector, candidates, self._max_neighbors(layer))
+            node.neighbors[layer] = [neighbor_id for _dist, neighbor_id in neighbors]
+            for _dist, neighbor_id in neighbors:
+                neighbor = self._nodes[neighbor_id]
+                neighbor.neighbors[layer].append(node_id)
+                limit = self._max_neighbors(layer)
+                if len(neighbor.neighbors[layer]) > limit:
+                    neighbor.neighbors[layer] = self._shrink_neighbors(neighbor, layer, limit)
+            if candidates:
+                current = min(candidates)[1]
+        if level > entry_level:
+            self._entry_point = node_id
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(1e-12, self._rng.random())) * self._level_multiplier)
+
+    def _max_neighbors(self, layer: int) -> int:
+        return self.max_M0 if layer == 0 else self.M
+
+    def _select_neighbors(
+        self, vector: np.ndarray, candidates: list[tuple[float, int]], limit: int
+    ) -> list[tuple[float, int]]:
+        """Pick the ``limit`` closest candidates (simple distance heuristic)."""
+        unique: dict[int, float] = {}
+        for distance, node_id in candidates:
+            if node_id not in unique or distance < unique[node_id]:
+                unique[node_id] = distance
+        ranked = sorted((distance, node_id) for node_id, distance in unique.items())
+        return ranked[:limit]
+
+    def _shrink_neighbors(self, node: _HNSWNode, layer: int, limit: int) -> list[int]:
+        scored = [
+            (self._distance(node.vector, self._nodes[other].vector), other)
+            for other in node.neighbors[layer]
+        ]
+        scored.sort()
+        return [other for _dist, other in scored[:limit]]
+
+    # ----------------------------------------------------------------- search
+    def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
+        if k <= 0 or self._entry_point is None or self._live_count == 0:
+            return []
+        query = _as_matrix(vector)
+        current = self._entry_point
+        for layer in range(self._nodes[current].max_level, 0, -1):
+            current = self._greedy_search(query, current, layer)
+        ef = max(self.ef_search, k)
+        candidates = self._search_layer(query, [current], 0, ef)
+        candidates.sort()
+        results: list[SearchResult] = []
+        for distance, node_id in candidates:
+            node = self._nodes[node_id]
+            if node.deleted:
+                continue
+            results.append(SearchResult(key=node.key, distance=float(distance)))
+            if len(results) == k:
+                break
+        return results
+
+    def _greedy_search(self, query: np.ndarray, start: int, layer: int) -> int:
+        current = start
+        current_distance = self._distance(query, self._nodes[current].vector)
+        improved = True
+        while improved:
+            improved = False
+            for neighbor_id in self._nodes[current].neighbors[layer]:
+                distance = self._distance(query, self._nodes[neighbor_id].vector)
+                if distance < current_distance:
+                    current, current_distance = neighbor_id, distance
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry_points: list[int], layer: int, ef: int
+    ) -> list[tuple[float, int]]:
+        visited = set(entry_points)
+        candidates: list[tuple[float, int]] = []
+        best: list[tuple[float, int]] = []  # max-heap via negated distance
+        for point in entry_points:
+            distance = self._distance(query, self._nodes[point].vector)
+            heapq.heappush(candidates, (distance, point))
+            heapq.heappush(best, (-distance, point))
+        while candidates:
+            distance, point = heapq.heappop(candidates)
+            if best and distance > -best[0][0]:
+                break
+            for neighbor_id in self._nodes[point].neighbors[layer]:
+                if neighbor_id in visited:
+                    continue
+                visited.add(neighbor_id)
+                neighbor_distance = self._distance(query, self._nodes[neighbor_id].vector)
+                if len(best) < ef or neighbor_distance < -best[0][0]:
+                    heapq.heappush(candidates, (neighbor_distance, neighbor_id))
+                    heapq.heappush(best, (-neighbor_distance, neighbor_id))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return [(-negated, node_id) for negated, node_id in best]
+
+    # ----------------------------------------------------------------- remove
+    def remove(self, key: str) -> None:
+        if key not in self._id_of:
+            raise KeyError(f"unknown key {key!r}")
+        node = self._nodes[self._id_of[key]]
+        if node.deleted:
+            raise KeyError(f"key {key!r} already removed")
+        node.deleted = True
+        self._live_count -= 1

@@ -1,0 +1,30 @@
+"""LLM substrate: client interface, prompt engineering, and the offline simulator.
+
+The paper uses pre-trained public LLMs (Doubao, ChatGPT-4.0) behind a simple
+"send prompt, receive explanation" interface.  This subpackage defines that
+interface (:class:`~repro.llm.client.LLMClient`), the structured prompts of
+the paper's Table I (:mod:`repro.llm.prompts`), and an offline
+:class:`~repro.llm.simulated.SimulatedLLM` that reproduces the behavioural
+properties the paper attributes to grounded vs un-grounded LLMs — including
+the characteristic failure modes of the un-grounded baseline.
+"""
+
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.llm.prompts import (
+    PromptBuilder,
+    PromptPayload,
+    KnowledgeAttachment,
+    QuestionAttachment,
+)
+from repro.llm.simulated import SimulatedLLM
+
+__all__ = [
+    "LLMClient",
+    "LLMRequest",
+    "LLMResponse",
+    "PromptBuilder",
+    "PromptPayload",
+    "KnowledgeAttachment",
+    "QuestionAttachment",
+    "SimulatedLLM",
+]

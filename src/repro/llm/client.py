@@ -1,0 +1,73 @@
+"""LLM client interface.
+
+Any language model — a hosted API (Doubao, ChatGPT, Claude, Llama behind a
+gateway) or the offline :class:`~repro.llm.simulated.SimulatedLLM` — is used
+through the same tiny interface: build an :class:`LLMRequest`, call
+:meth:`LLMClient.generate`, get an :class:`LLMResponse` with the text and the
+thinking/generation timings the latency benchmark needs.
+
+``LLMRequest.attachments`` carries the *structured* form of the prompt
+(retrieved knowledge entries and the question's plan pair).  Hosted clients
+ignore it — they only see ``prompt`` — but the offline simulator consumes it
+instead of re-parsing its own prompt text; this is part of the documented
+LLM substitution (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Sentinel text returned when the model decides the retrieved knowledge does
+#: not contain the facts needed to answer (paper: "return None").
+NONE_ANSWER = "None"
+
+
+@dataclass
+class LLMRequest:
+    """A single generation request."""
+
+    prompt: str
+    #: Structured view of the prompt for offline simulation (see module docstring).
+    attachments: dict[str, Any] = field(default_factory=dict)
+    #: Soft cap on the answer length, in words (hosted models map it to tokens).
+    max_words: int = 220
+    #: Sampling temperature; the simulator maps it onto its stochastic choices.
+    temperature: float = 0.2
+
+
+@dataclass
+class LLMResponse:
+    """A generation result with latency accounting."""
+
+    text: str
+    thinking_seconds: float
+    generation_seconds: float
+    model_name: str
+    #: Structured claims made by the answer (factors cited, winner claimed).
+    #: Populated by the simulator so the evaluation panel can grade without
+    #: natural-language parsing; empty for hosted models.
+    claims: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.thinking_seconds + self.generation_seconds
+
+    @property
+    def is_none_answer(self) -> bool:
+        return self.text.strip().lower() == NONE_ANSWER.lower()
+
+
+class LLMClient(abc.ABC):
+    """Minimal interface every language-model backend implements."""
+
+    name: str = "llm"
+
+    @abc.abstractmethod
+    def generate(self, request: LLMRequest) -> LLMResponse:
+        """Produce a response for ``request``."""
+
+    def generate_text(self, prompt: str) -> str:
+        """Convenience wrapper returning only the text."""
+        return self.generate(LLMRequest(prompt=prompt)).text

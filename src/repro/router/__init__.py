@@ -1,0 +1,27 @@
+"""The smart router: a tree-CNN classifier over plan pairs.
+
+The paper's HTAP system contains a lightweight learned router (a tree-CNN in
+the spirit of Bao/Lero) that predicts which engine will execute a query
+faster.  Its penultimate hidden layer doubles as the **plan-pair embedding**
+(16 dimensions in the paper) used as the retrieval key of the RAG knowledge
+base.  This subpackage implements the model from scratch in numpy: plan
+featurisation, tree convolution with dynamic pooling, manual backpropagation,
+an Adam trainer, and the :class:`~repro.router.router.SmartRouter` facade.
+"""
+
+from repro.router.features import PlanFeaturizer
+from repro.router.tensors import PlanTensor
+from repro.router.treecnn import TreeCNNClassifier, TreeCNNConfig
+from repro.router.training import RouterTrainer, TrainingReport
+from repro.router.router import SmartRouter, RoutingDecision
+
+__all__ = [
+    "PlanFeaturizer",
+    "PlanTensor",
+    "TreeCNNClassifier",
+    "TreeCNNConfig",
+    "RouterTrainer",
+    "TrainingReport",
+    "SmartRouter",
+    "RoutingDecision",
+]

@@ -1,0 +1,111 @@
+"""Plan-node featurisation for the tree-CNN.
+
+Each plan node becomes a fixed-width feature vector:
+
+* a one-hot encoding of the physical operator type,
+* log-scaled cardinality and cost estimates,
+* boolean structural flags (index use, scan/join/aggregate role),
+* a log-scaled size of the scanned relation (zero for non-scan nodes).
+
+The encoding intentionally contains only information available at EXPLAIN
+time — no execution feedback — because the router must route *before* the
+query runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.htap.catalog import Catalog
+from repro.htap.plan.nodes import (
+    AGGREGATE_NODE_TYPES,
+    JOIN_NODE_TYPES,
+    SCAN_NODE_TYPES,
+    NodeType,
+    PlanNode,
+)
+
+#: Stable operator ordering for the one-hot encoding.
+_NODE_TYPE_ORDER: list[NodeType] = list(NodeType)
+_NODE_TYPE_INDEX = {node_type: index for index, node_type in enumerate(_NODE_TYPE_ORDER)}
+
+#: Normalisation constants for the log-scaled numeric features.
+_LOG_ROWS_SCALE = 20.0
+_LOG_COST_SCALE = 25.0
+_LOG_TABLE_SCALE = 22.0
+
+
+class PlanFeaturizer:
+    """Converts plan nodes into numeric feature vectors.
+
+    Parameters
+    ----------
+    catalog:
+        Optional catalog used to look up the size of scanned relations; when
+        omitted the relation-size feature falls back to the node's estimated
+        row count.
+    """
+
+    def __init__(self, catalog: Catalog | None = None):
+        self.catalog = catalog
+
+    @property
+    def feature_size(self) -> int:
+        """Width of one node's feature vector."""
+        return len(_NODE_TYPE_ORDER) + 7
+
+    def node_features(self, node: PlanNode) -> np.ndarray:
+        """Feature vector of a single plan node."""
+        one_hot = np.zeros(len(_NODE_TYPE_ORDER), dtype=np.float64)
+        one_hot[_NODE_TYPE_INDEX[node.node_type]] = 1.0
+
+        log_rows = math.log1p(max(0.0, node.plan_rows)) / _LOG_ROWS_SCALE
+        log_cost = math.log1p(max(0.0, node.total_cost)) / _LOG_COST_SCALE
+        uses_index = 1.0 if (
+            node.index_name is not None
+            or node.node_type in (NodeType.INDEX_SCAN, NodeType.INDEX_LOOKUP, NodeType.INDEX_NESTED_LOOP_JOIN)
+        ) else 0.0
+        is_scan = 1.0 if node.node_type in SCAN_NODE_TYPES else 0.0
+        is_join = 1.0 if node.node_type in JOIN_NODE_TYPES else 0.0
+        is_aggregate = 1.0 if node.node_type in AGGREGATE_NODE_TYPES else 0.0
+
+        table_rows = 0.0
+        if node.relation is not None:
+            if self.catalog is not None and self.catalog.has_table(node.relation):
+                table_rows = float(self.catalog.row_count(node.relation))
+            else:
+                table_rows = max(0.0, node.plan_rows)
+        log_table = math.log1p(table_rows) / _LOG_TABLE_SCALE
+
+        numeric = np.array(
+            [log_rows, log_cost, uses_index, is_scan, is_join, is_aggregate, log_table],
+            dtype=np.float64,
+        )
+        return np.concatenate([one_hot, numeric])
+
+    def plan_features(self, plan: PlanNode) -> np.ndarray:
+        """Feature matrix (pre-order node order) for a whole plan tree."""
+        rows = [self.node_features(node) for node in plan.walk()]
+        return np.vstack(rows)
+
+
+def structural_embedding(plan: PlanNode, dimensions: int = 16) -> np.ndarray:
+    """A non-learned baseline embedding used for the ablation in DESIGN.md.
+
+    Buckets operator counts and coarse size statistics into a fixed-width
+    vector.  It intentionally ignores the routing task, so retrieval quality
+    with it shows how much the task-specific tree-CNN embedding matters.
+    """
+    vector = np.zeros(dimensions, dtype=np.float64)
+    for node in plan.walk():
+        bucket = _NODE_TYPE_INDEX[node.node_type] % dimensions
+        vector[bucket] += 1.0
+    vector[0] += math.log1p(plan.plan_rows)
+    vector[1] += math.log1p(plan.total_cost)
+    vector[2] += plan.depth()
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector = vector / norm
+    return vector

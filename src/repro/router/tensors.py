@@ -1,0 +1,70 @@
+"""Tree-to-tensor conversion for the tree convolution.
+
+A plan tree is flattened into three aligned arrays:
+
+* ``features`` — an ``(N + 1, F)`` matrix whose row 0 is an all-zero padding
+  node and rows ``1..N`` are the real nodes in pre-order;
+* ``left`` / ``right`` — integer arrays of length ``N`` giving, for each real
+  node, the row index of its left/right child (0 when absent).
+
+The tree convolution then computes, for every real node, a function of the
+triple ``(node, left child, right child)``, exactly as in Bao/Neo.  Plans in
+this system are at most binary (joins have two children, every other
+operator has at most one), so no binarisation tricks are needed; a defensive
+check raises if that invariant is ever violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.htap.plan.nodes import PlanNode
+from repro.router.features import PlanFeaturizer
+
+
+@dataclass
+class PlanTensor:
+    """Tensor form of one plan tree (see module docstring)."""
+
+    features: np.ndarray  # (N + 1, F), row 0 is the zero padding node
+    left: np.ndarray      # (N,) int, child row index or 0
+    right: np.ndarray     # (N,) int, child row index or 0
+
+    @property
+    def node_count(self) -> int:
+        return self.features.shape[0] - 1
+
+    @property
+    def feature_size(self) -> int:
+        return self.features.shape[1]
+
+    @classmethod
+    def from_plan(cls, plan: PlanNode, featurizer: PlanFeaturizer) -> "PlanTensor":
+        """Convert ``plan`` into tensor form using ``featurizer``."""
+        nodes = list(plan.walk())
+        index_of = {id(node): position + 1 for position, node in enumerate(nodes)}
+        feature_size = featurizer.feature_size
+        features = np.zeros((len(nodes) + 1, feature_size), dtype=np.float64)
+        left = np.zeros(len(nodes), dtype=np.int64)
+        right = np.zeros(len(nodes), dtype=np.int64)
+        for position, node in enumerate(nodes):
+            features[position + 1] = featurizer.node_features(node)
+            if len(node.children) > 2:
+                raise ValueError(
+                    f"plan node {node.node_type.value!r} has {len(node.children)} children; "
+                    "the tree convolution expects at most binary trees"
+                )
+            if len(node.children) >= 1:
+                left[position] = index_of[id(node.children[0])]
+            if len(node.children) == 2:
+                right[position] = index_of[id(node.children[1])]
+        return cls(features=features, left=left, right=right)
+
+    def triples(self) -> np.ndarray:
+        """The ``(N, 3F)`` matrix of concatenated (node, left, right) features."""
+        node_rows = self.features[1:]
+        left_rows = self.features[self.left]
+        right_rows = self.features[self.right]
+        return np.concatenate([node_rows, left_rows, right_rows], axis=1)

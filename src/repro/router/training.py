@@ -1,0 +1,151 @@
+"""Adam trainer for the tree-CNN router.
+
+Training data is a list of ``(tp_tensor, ap_tensor, label)`` triples where
+``label`` follows the :data:`repro.router.treecnn.CLASS_TP` /
+:data:`~repro.router.treecnn.CLASS_AP` convention.  Mini-batches accumulate
+gradients sample by sample (plans are tiny trees, so a Python loop is far
+from the bottleneck) and an Adam step is applied per batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.router.tensors import PlanTensor
+from repro.router.treecnn import Gradients, TreeCNNClassifier
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one training run."""
+
+    epochs: int
+    final_train_loss: float
+    final_train_accuracy: float
+    validation_accuracy: float
+    loss_history: list[float] = field(default_factory=list)
+    accuracy_history: list[float] = field(default_factory=list)
+
+
+@dataclass
+class _AdamState:
+    first_moment: dict[str, np.ndarray] = field(default_factory=dict)
+    second_moment: dict[str, np.ndarray] = field(default_factory=dict)
+    step: int = 0
+
+
+TrainingSample = tuple[PlanTensor, PlanTensor, int]
+
+
+class RouterTrainer:
+    """Mini-batch Adam trainer."""
+
+    def __init__(
+        self,
+        model: TreeCNNClassifier,
+        *,
+        learning_rate: float = 1e-3,
+        batch_size: int = 16,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 1e-5,
+        seed: int = 17,
+    ):
+        self.model = model
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._rng = random.Random(seed)
+        self._adam = _AdamState()
+
+    # ------------------------------------------------------------------ train
+    def train(
+        self,
+        samples: list[TrainingSample],
+        *,
+        epochs: int = 40,
+        validation_fraction: float = 0.2,
+    ) -> TrainingReport:
+        """Train for ``epochs`` passes and return a report.
+
+        A deterministic tail split of ``validation_fraction`` of the samples
+        is held out for the validation accuracy number.
+        """
+        if not samples:
+            raise ValueError("cannot train on an empty sample list")
+        validation_count = int(len(samples) * validation_fraction)
+        training = samples[: len(samples) - validation_count]
+        validation = samples[len(samples) - validation_count :]
+        if not training:
+            training, validation = samples, []
+
+        loss_history: list[float] = []
+        accuracy_history: list[float] = []
+        order = list(range(len(training)))
+        for _epoch in range(epochs):
+            self._rng.shuffle(order)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(order), self.batch_size):
+                batch = [training[index] for index in order[start : start + self.batch_size]]
+                gradients = Gradients()
+                for tp_tensor, ap_tensor, label in batch:
+                    loss, probabilities = self.model.loss_and_gradients(
+                        tp_tensor, ap_tensor, label, gradients
+                    )
+                    epoch_loss += loss
+                    if int(np.argmax(probabilities)) == label:
+                        correct += 1
+                gradients.scale(1.0 / len(batch))
+                self._apply_adam(gradients)
+            loss_history.append(epoch_loss / len(training))
+            accuracy_history.append(correct / len(training))
+
+        validation_accuracy = self.evaluate(validation) if validation else accuracy_history[-1]
+        return TrainingReport(
+            epochs=epochs,
+            final_train_loss=loss_history[-1],
+            final_train_accuracy=accuracy_history[-1],
+            validation_accuracy=validation_accuracy,
+            loss_history=loss_history,
+            accuracy_history=accuracy_history,
+        )
+
+    def evaluate(self, samples: list[TrainingSample]) -> float:
+        """Classification accuracy over ``samples`` (1.0 for an empty list)."""
+        if not samples:
+            return 1.0
+        correct = 0
+        for tp_tensor, ap_tensor, label in samples:
+            probabilities = self.model.predict_proba(tp_tensor, ap_tensor)
+            if int(np.argmax(probabilities)) == label:
+                correct += 1
+        return correct / len(samples)
+
+    # ------------------------------------------------------------------- adam
+    def _apply_adam(self, gradients: Gradients) -> None:
+        state = self._adam
+        state.step += 1
+        for name, gradient in gradients.values.items():
+            parameter = self.model.parameters[name]
+            if self.weight_decay and parameter.ndim > 1:
+                gradient = gradient + self.weight_decay * parameter
+            if name not in state.first_moment:
+                state.first_moment[name] = np.zeros_like(parameter)
+                state.second_moment[name] = np.zeros_like(parameter)
+            state.first_moment[name] = (
+                self.beta1 * state.first_moment[name] + (1.0 - self.beta1) * gradient
+            )
+            state.second_moment[name] = (
+                self.beta2 * state.second_moment[name] + (1.0 - self.beta2) * gradient**2
+            )
+            corrected_first = state.first_moment[name] / (1.0 - self.beta1**state.step)
+            corrected_second = state.second_moment[name] / (1.0 - self.beta2**state.step)
+            parameter -= self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)

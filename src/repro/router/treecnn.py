@@ -1,0 +1,280 @@
+"""Tree-CNN plan-pair classifier with manual backpropagation.
+
+Architecture (numpy only, no deep-learning framework):
+
+.. code-block:: text
+
+    per plan:   node features --tree conv (C1)--> --tree conv (C2)--> max pool
+    per pair:   [pool(TP) ; pool(AP)] --dense (H, relu)--> dense (E, relu)
+                --dense (2)--> softmax over {TP faster, AP faster}
+
+The output of the ``E``-dimensional layer (16 by default, as in the paper) is
+the **plan-pair embedding** stored in the knowledge base and used as the
+retrieval key.  The model is a few thousand parameters — well under the
+paper's "< 1 MB" footprint — and a single forward pass is far below 1 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.router.tensors import PlanTensor
+
+#: Class index convention: 0 = TP is faster, 1 = AP is faster.
+CLASS_TP = 0
+CLASS_AP = 1
+
+
+@dataclass(frozen=True)
+class TreeCNNConfig:
+    """Hyper-parameters of the tree-CNN."""
+
+    feature_size: int
+    conv1_channels: int = 64
+    conv2_channels: int = 32
+    head_hidden: int = 32
+    embedding_size: int = 16
+    seed: int = 13
+
+
+@dataclass
+class _PlanCache:
+    """Intermediate activations needed for the backward pass of one plan."""
+
+    tensor: PlanTensor
+    triples1: np.ndarray
+    z1: np.ndarray
+    a1: np.ndarray
+    padded1: np.ndarray
+    triples2: np.ndarray
+    z2: np.ndarray
+    a2: np.ndarray
+    argmax: np.ndarray
+    pooled: np.ndarray
+
+
+@dataclass
+class _PairCache:
+    """Intermediate activations for one plan pair."""
+
+    tp: _PlanCache
+    ap: _PlanCache
+    pair_vector: np.ndarray
+    z_hidden: np.ndarray
+    hidden: np.ndarray
+    z_embedding: np.ndarray
+    embedding: np.ndarray
+    logits: np.ndarray
+    probabilities: np.ndarray
+
+
+@dataclass
+class Gradients:
+    """Gradient accumulator keyed like the parameter dictionary."""
+
+    values: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, name: str, gradient: np.ndarray) -> None:
+        if name in self.values:
+            self.values[name] += gradient
+        else:
+            self.values[name] = gradient.copy()
+
+    def scale(self, factor: float) -> None:
+        for name in self.values:
+            self.values[name] *= factor
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(np.float64)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp)
+
+
+class TreeCNNClassifier:
+    """The smart router's model: classify which engine is faster.
+
+    All parameters live in :attr:`parameters`, a flat ``name -> ndarray``
+    dictionary, which keeps the Adam trainer and (de)serialisation trivial.
+    """
+
+    def __init__(self, config: TreeCNNConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        feature_size = config.feature_size
+        c1, c2 = config.conv1_channels, config.conv2_channels
+        hidden, embedding = config.head_hidden, config.embedding_size
+        self.parameters: dict[str, np.ndarray] = {
+            "conv1_w": _glorot(rng, 3 * feature_size, c1),
+            "conv1_b": np.zeros(c1),
+            "conv2_w": _glorot(rng, 3 * c1, c2),
+            "conv2_b": np.zeros(c2),
+            "head_w": _glorot(rng, 2 * c2, hidden),
+            "head_b": np.zeros(hidden),
+            "embed_w": _glorot(rng, hidden, embedding),
+            "embed_b": np.zeros(embedding),
+            "out_w": _glorot(rng, embedding, 2),
+            "out_b": np.zeros(2),
+        }
+
+    # --------------------------------------------------------------- forward
+    def _forward_plan(self, tensor: PlanTensor) -> _PlanCache:
+        parameters = self.parameters
+        triples1 = tensor.triples()
+        z1 = triples1 @ parameters["conv1_w"] + parameters["conv1_b"]
+        a1 = _relu(z1)
+        padded1 = np.zeros((tensor.node_count + 1, self.config.conv1_channels))
+        padded1[1:] = a1
+        triples2 = np.concatenate(
+            [padded1[1:], padded1[tensor.left], padded1[tensor.right]], axis=1
+        )
+        z2 = triples2 @ parameters["conv2_w"] + parameters["conv2_b"]
+        a2 = _relu(z2)
+        argmax = np.argmax(a2, axis=0)
+        pooled = a2[argmax, np.arange(a2.shape[1])]
+        return _PlanCache(
+            tensor=tensor,
+            triples1=triples1,
+            z1=z1,
+            a1=a1,
+            padded1=padded1,
+            triples2=triples2,
+            z2=z2,
+            a2=a2,
+            argmax=argmax,
+            pooled=pooled,
+        )
+
+    def forward_pair(self, tp_tensor: PlanTensor, ap_tensor: PlanTensor) -> _PairCache:
+        """Full forward pass over a TP/AP plan-pair."""
+        parameters = self.parameters
+        tp_cache = self._forward_plan(tp_tensor)
+        ap_cache = self._forward_plan(ap_tensor)
+        pair_vector = np.concatenate([tp_cache.pooled, ap_cache.pooled])
+        z_hidden = pair_vector @ parameters["head_w"] + parameters["head_b"]
+        hidden = _relu(z_hidden)
+        z_embedding = hidden @ parameters["embed_w"] + parameters["embed_b"]
+        embedding = _relu(z_embedding)
+        logits = embedding @ parameters["out_w"] + parameters["out_b"]
+        probabilities = _softmax(logits)
+        return _PairCache(
+            tp=tp_cache,
+            ap=ap_cache,
+            pair_vector=pair_vector,
+            z_hidden=z_hidden,
+            hidden=hidden,
+            z_embedding=z_embedding,
+            embedding=embedding,
+            logits=logits,
+            probabilities=probabilities,
+        )
+
+    # ------------------------------------------------------------- inference
+    def predict_proba(self, tp_tensor: PlanTensor, ap_tensor: PlanTensor) -> np.ndarray:
+        """Probabilities ``[P(TP faster), P(AP faster)]``."""
+        return self.forward_pair(tp_tensor, ap_tensor).probabilities
+
+    def embed_pair(self, tp_tensor: PlanTensor, ap_tensor: PlanTensor) -> np.ndarray:
+        """The 16-dim plan-pair embedding (penultimate layer activations)."""
+        return self.forward_pair(tp_tensor, ap_tensor).embedding.copy()
+
+    # -------------------------------------------------------------- backward
+    def loss_and_gradients(
+        self,
+        tp_tensor: PlanTensor,
+        ap_tensor: PlanTensor,
+        label: int,
+        gradients: Gradients,
+    ) -> tuple[float, np.ndarray]:
+        """Cross-entropy loss for one pair; accumulates gradients in place.
+
+        Returns ``(loss, probabilities)``.
+        """
+        if label not in (CLASS_TP, CLASS_AP):
+            raise ValueError(f"label must be {CLASS_TP} or {CLASS_AP}, got {label}")
+        cache = self.forward_pair(tp_tensor, ap_tensor)
+        probabilities = cache.probabilities
+        loss = -float(np.log(max(probabilities[label], 1e-12)))
+
+        parameters = self.parameters
+        d_logits = probabilities.copy()
+        d_logits[label] -= 1.0
+
+        gradients.add("out_w", np.outer(cache.embedding, d_logits))
+        gradients.add("out_b", d_logits)
+        d_embedding = d_logits @ parameters["out_w"].T
+        d_z_embedding = d_embedding * _relu_grad(cache.z_embedding)
+
+        gradients.add("embed_w", np.outer(cache.hidden, d_z_embedding))
+        gradients.add("embed_b", d_z_embedding)
+        d_hidden = d_z_embedding @ parameters["embed_w"].T
+        d_z_hidden = d_hidden * _relu_grad(cache.z_hidden)
+
+        gradients.add("head_w", np.outer(cache.pair_vector, d_z_hidden))
+        gradients.add("head_b", d_z_hidden)
+        d_pair = d_z_hidden @ parameters["head_w"].T
+
+        c2 = self.config.conv2_channels
+        self._backward_plan(cache.tp, d_pair[:c2], gradients)
+        self._backward_plan(cache.ap, d_pair[c2:], gradients)
+        return loss, probabilities
+
+    def _backward_plan(self, cache: _PlanCache, d_pooled: np.ndarray, gradients: Gradients) -> None:
+        parameters = self.parameters
+        d_a2 = np.zeros_like(cache.a2)
+        d_a2[cache.argmax, np.arange(cache.a2.shape[1])] = d_pooled
+        d_z2 = d_a2 * _relu_grad(cache.z2)
+        gradients.add("conv2_w", cache.triples2.T @ d_z2)
+        gradients.add("conv2_b", d_z2.sum(axis=0))
+        d_triples2 = d_z2 @ parameters["conv2_w"].T
+
+        c1 = self.config.conv1_channels
+        d_node = d_triples2[:, :c1]
+        d_left = d_triples2[:, c1 : 2 * c1]
+        d_right = d_triples2[:, 2 * c1 :]
+        d_padded1 = np.zeros_like(cache.padded1)
+        d_padded1[1:] += d_node
+        np.add.at(d_padded1, cache.tensor.left, d_left)
+        np.add.at(d_padded1, cache.tensor.right, d_right)
+        d_a1 = d_padded1[1:]
+        d_z1 = d_a1 * _relu_grad(cache.z1)
+        gradients.add("conv1_w", cache.triples1.T @ d_z1)
+        gradients.add("conv1_b", d_z1.sum(axis=0))
+
+    # ----------------------------------------------------------- persistence
+    def parameter_count(self) -> int:
+        return int(sum(array.size for array in self.parameters.values()))
+
+    def model_size_bytes(self) -> int:
+        """Serialised size of the parameters (float64), for the <1 MB claim."""
+        return int(sum(array.nbytes for array in self.parameters.values()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: array.copy() for name, array in self.parameters.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for name, array in state.items():
+            if name not in self.parameters:
+                raise KeyError(f"unexpected parameter {name!r}")
+            if self.parameters[name].shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{self.parameters[name].shape} vs {array.shape}"
+                )
+            self.parameters[name] = array.copy()
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -1,0 +1,13 @@
+"""Simulated participant study (paper Section VI-C)."""
+
+from repro.study.participants import Participant, ParticipantPool
+from repro.study.protocol import GroupReport, ParticipantStudy, StudyMaterials, StudyReport
+
+__all__ = [
+    "Participant",
+    "ParticipantPool",
+    "ParticipantStudy",
+    "StudyMaterials",
+    "GroupReport",
+    "StudyReport",
+]

@@ -1,0 +1,180 @@
+"""The two-group study protocol (paper Section VI-C).
+
+* **Group "with LLM"** receives the plan details (JSON) *and* the
+  LLM-generated explanation from the start; we record the time until they
+  report full understanding and whether their interpretation is correct.
+* **Group "without LLM"** first receives only the plan details; we record
+  their time, correctness and difficulty rating, then show them the LLM
+  explanation and record whether they revise an incorrect interpretation.
+
+Both groups rate the difficulty of the plan details and of the LLM
+explanation on a 0–10 scale.  The report aggregates the same quantities the
+paper reports in prose.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.study.participants import Participant, ParticipantPool
+
+
+@dataclass
+class StudyMaterials:
+    """The artefacts shown to participants for one query."""
+
+    sql: str
+    tp_plan_json: str
+    ap_plan_json: str
+    explanation_text: str
+
+    @property
+    def plan_chars(self) -> int:
+        return len(self.tp_plan_json) + len(self.ap_plan_json)
+
+    @property
+    def explanation_words(self) -> int:
+        return len(self.explanation_text.split())
+
+    @classmethod
+    def from_dicts(cls, sql: str, tp_plan: dict, ap_plan: dict, explanation_text: str) -> "StudyMaterials":
+        return cls(
+            sql=sql,
+            tp_plan_json=json.dumps(tp_plan, indent=1),
+            ap_plan_json=json.dumps(ap_plan, indent=1),
+            explanation_text=explanation_text,
+        )
+
+
+@dataclass
+class ParticipantOutcome:
+    """What one participant did in the study."""
+
+    participant_id: str
+    group: str
+    minutes_to_understand: float
+    correct_initially: bool
+    corrected_after_explanation: bool
+    plan_difficulty: float
+    explanation_difficulty: float
+
+
+@dataclass
+class GroupReport:
+    """Aggregates for one study group."""
+
+    group: str
+    outcomes: list[ParticipantOutcome] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def average_minutes(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.minutes_to_understand for outcome in self.outcomes) / self.size
+
+    @property
+    def correct_fraction(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for outcome in self.outcomes if outcome.correct_initially) / self.size
+
+    @property
+    def corrected_fraction(self) -> float:
+        """Among initially-incorrect participants, how many corrected themselves."""
+        incorrect = [outcome for outcome in self.outcomes if not outcome.correct_initially]
+        if not incorrect:
+            return 1.0
+        return sum(1 for outcome in incorrect if outcome.corrected_after_explanation) / len(incorrect)
+
+    @property
+    def average_plan_difficulty(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.plan_difficulty for outcome in self.outcomes) / self.size
+
+    @property
+    def average_explanation_difficulty(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.explanation_difficulty for outcome in self.outcomes) / self.size
+
+
+@dataclass
+class StudyReport:
+    """Full study outcome: one report per group."""
+
+    with_llm: GroupReport
+    without_llm: GroupReport
+
+    def as_rows(self) -> list[dict[str, float | str]]:
+        """Rows for the benchmark table (one per group)."""
+        rows = []
+        for report in (self.without_llm, self.with_llm):
+            rows.append(
+                {
+                    "group": report.group,
+                    "participants": report.size,
+                    "avg_minutes": round(report.average_minutes, 2),
+                    "correct_fraction": round(report.correct_fraction, 3),
+                    "corrected_after_llm": round(report.corrected_fraction, 3),
+                    "plan_difficulty": round(report.average_plan_difficulty, 2),
+                    "explanation_difficulty": round(report.average_explanation_difficulty, 2),
+                }
+            )
+        return rows
+
+
+class ParticipantStudy:
+    """Runs the two-group protocol over a participant pool."""
+
+    def __init__(self, materials: StudyMaterials, pool: ParticipantPool | None = None, seed: int = 99):
+        self.materials = materials
+        self.pool = pool or ParticipantPool()
+        self.seed = seed
+
+    def run(self) -> StudyReport:
+        group_with, group_without = self.pool.split_groups()
+        rng = random.Random(self.seed)
+        with_report = GroupReport(group="with_llm")
+        for participant in group_with:
+            with_report.outcomes.append(self._run_with_llm(participant, rng))
+        without_report = GroupReport(group="without_llm")
+        for participant in group_without:
+            without_report.outcomes.append(self._run_without_llm(participant, rng))
+        return StudyReport(with_llm=with_report, without_llm=without_report)
+
+    # --------------------------------------------------------------- internals
+    def _run_with_llm(self, participant: Participant, rng: random.Random) -> ParticipantOutcome:
+        minutes = participant.assisted_total_minutes(
+            self.materials.plan_chars, self.materials.explanation_words
+        )
+        correct = participant.understands_with_explanation(rng)
+        return ParticipantOutcome(
+            participant_id=participant.participant_id,
+            group="with_llm",
+            minutes_to_understand=minutes,
+            correct_initially=correct,
+            corrected_after_explanation=correct,
+            plan_difficulty=participant.plan_difficulty_rating(rng),
+            explanation_difficulty=participant.explanation_difficulty_rating(rng),
+        )
+
+    def _run_without_llm(self, participant: Participant, rng: random.Random) -> ParticipantOutcome:
+        minutes = participant.plan_reading_minutes(self.materials.plan_chars)
+        correct = participant.understands_from_plans(rng)
+        corrected = correct or participant.understands_with_explanation(rng)
+        return ParticipantOutcome(
+            participant_id=participant.participant_id,
+            group="without_llm",
+            minutes_to_understand=minutes,
+            correct_initially=correct,
+            corrected_after_explanation=corrected,
+            plan_difficulty=participant.plan_difficulty_rating(rng),
+            explanation_difficulty=participant.explanation_difficulty_rating(rng),
+        )

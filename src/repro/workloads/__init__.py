@@ -1,0 +1,33 @@
+"""Synthetic TPC-H workload generation, execution labeling, and expert curation.
+
+Section IV of the paper builds its knowledge base from synthetic queries over
+the TPC-H schema covering two pattern families — multi-way join queries and
+top-N queries — varying the number of joined tables, table sizes, predicate
+selectivity and index usage.  This subpackage generates those workloads,
+executes them on both engines of the simulated HTAP system, derives the
+ground-truth causal factors behind each performance gap, and produces
+expert-curated explanations from the factors.
+"""
+
+from repro.workloads.generator import WorkloadGenerator, WorkloadQuery, QueryPattern
+from repro.workloads.labeling import (
+    ExplanationFactor,
+    GroundTruth,
+    LabeledQuery,
+    WorkloadLabeler,
+)
+from repro.workloads.experts import SimulatedExpert
+from repro.workloads.datasets import WorkloadDataset, build_paper_dataset
+
+__all__ = [
+    "WorkloadGenerator",
+    "WorkloadQuery",
+    "QueryPattern",
+    "ExplanationFactor",
+    "GroundTruth",
+    "LabeledQuery",
+    "WorkloadLabeler",
+    "SimulatedExpert",
+    "WorkloadDataset",
+    "build_paper_dataset",
+]

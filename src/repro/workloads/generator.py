@@ -1,0 +1,177 @@
+"""Synthetic workload generation (paper Section IV).
+
+The generator instantiates the query templates in
+:mod:`repro.workloads.tpch_queries` with seeded randomness, producing a mixed
+workload of join queries and top-N queries (plus the selective/aggregation
+patterns that give the TP engine its wins).  Pattern proportions can be
+customised; the defaults roughly balance AP-favourable and TP-favourable
+cases so the router has a non-trivial classification task and the knowledge
+base needs entries for both outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.workloads import tpch_queries
+
+
+class QueryPattern(enum.Enum):
+    """Workload pattern families (paper Section IV plus TP-friendly patterns)."""
+
+    JOIN_PHONE_PREFIX = "join_phone_prefix"
+    JOIN_CUSTOMER_ORDERS = "join_customer_orders"
+    JOIN_ORDERS_LINEITEM = "join_orders_lineitem"
+    JOIN_SUPPLIER_CHAIN = "join_supplier_chain"
+    JOIN_POINT_CUSTOMER = "join_point_customer"
+    JOIN_SMALL_TABLES = "join_small_tables"
+    JOIN_PART_SUPPLIER = "join_part_supplier"
+    TOPN_ORDERS_PRICE = "topn_orders_price"
+    TOPN_ORDERS_KEY = "topn_orders_key"
+    TOPN_CUSTOMER_BALANCE = "topn_customer_balance"
+    TOPN_WITH_OFFSET = "topn_with_offset"
+    TOPN_LINEITEM_KEY = "topn_lineitem_key"
+    POINT_LOOKUP = "point_lookup"
+    RANGE_SCAN = "range_scan"
+    SMALL_TABLE = "small_table"
+    AGG_LINEITEM = "agg_lineitem"
+    AGG_ORDERS = "agg_orders"
+
+    @property
+    def family(self) -> str:
+        """Coarse family: ``join``, ``topn``, ``selective`` or ``aggregation``."""
+        name = self.value
+        if name.startswith("join"):
+            return "join"
+        if name.startswith("topn"):
+            return "topn"
+        if name.startswith("agg"):
+            return "aggregation"
+        return "selective"
+
+
+_TEMPLATE_FUNCTIONS: dict[QueryPattern, Callable[[random.Random], tuple[str, dict]]] = {
+    QueryPattern.JOIN_PHONE_PREFIX: tpch_queries.join_3way_phone_prefix,
+    QueryPattern.JOIN_CUSTOMER_ORDERS: tpch_queries.join_2way_customer_orders,
+    QueryPattern.JOIN_ORDERS_LINEITEM: tpch_queries.join_2way_orders_lineitem,
+    QueryPattern.JOIN_SUPPLIER_CHAIN: tpch_queries.join_4way_supplier_chain,
+    QueryPattern.JOIN_POINT_CUSTOMER: tpch_queries.join_2way_point_customer,
+    QueryPattern.JOIN_SMALL_TABLES: tpch_queries.join_2way_small_tables,
+    QueryPattern.JOIN_PART_SUPPLIER: tpch_queries.join_3way_part_supplier,
+    QueryPattern.TOPN_ORDERS_PRICE: tpch_queries.topn_orders_by_price,
+    QueryPattern.TOPN_ORDERS_KEY: tpch_queries.topn_orders_by_key,
+    QueryPattern.TOPN_CUSTOMER_BALANCE: tpch_queries.topn_customer_by_balance,
+    QueryPattern.TOPN_WITH_OFFSET: tpch_queries.topn_with_offset,
+    QueryPattern.TOPN_LINEITEM_KEY: tpch_queries.topn_lineitem_by_key,
+    QueryPattern.POINT_LOOKUP: tpch_queries.point_lookup_order,
+    QueryPattern.RANGE_SCAN: tpch_queries.range_scan_customer,
+    QueryPattern.SMALL_TABLE: tpch_queries.small_table_scan,
+    QueryPattern.AGG_LINEITEM: tpch_queries.aggregation_lineitem,
+    QueryPattern.AGG_ORDERS: tpch_queries.aggregation_orders_by_priority,
+}
+
+#: Default relative weights: join and top-N queries dominate (the paper's two
+#: headline pattern families), with a meaningful share of selective and
+#: aggregation queries so both engines win a substantial fraction of queries.
+DEFAULT_PATTERN_WEIGHTS: dict[QueryPattern, float] = {
+    QueryPattern.JOIN_PHONE_PREFIX: 3.0,
+    QueryPattern.JOIN_CUSTOMER_ORDERS: 2.0,
+    QueryPattern.JOIN_ORDERS_LINEITEM: 2.0,
+    QueryPattern.JOIN_SUPPLIER_CHAIN: 1.5,
+    QueryPattern.JOIN_POINT_CUSTOMER: 1.5,
+    QueryPattern.JOIN_SMALL_TABLES: 1.0,
+    QueryPattern.JOIN_PART_SUPPLIER: 1.5,
+    QueryPattern.TOPN_ORDERS_PRICE: 2.0,
+    QueryPattern.TOPN_ORDERS_KEY: 2.0,
+    QueryPattern.TOPN_CUSTOMER_BALANCE: 1.5,
+    QueryPattern.TOPN_WITH_OFFSET: 1.0,
+    QueryPattern.TOPN_LINEITEM_KEY: 1.0,
+    QueryPattern.POINT_LOOKUP: 2.0,
+    QueryPattern.RANGE_SCAN: 1.5,
+    QueryPattern.SMALL_TABLE: 1.0,
+    QueryPattern.AGG_LINEITEM: 1.5,
+    QueryPattern.AGG_ORDERS: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query: SQL text plus generation metadata."""
+
+    query_id: str
+    sql: str
+    pattern: QueryPattern
+    params: dict = field(hash=False)
+
+    @property
+    def family(self) -> str:
+        return self.pattern.family
+
+
+class WorkloadGenerator:
+    """Seeded generator of synthetic TPC-H workloads.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the pseudo-random generator; identical seeds produce
+        identical workloads.
+    pattern_weights:
+        Relative sampling weight per pattern; defaults to
+        :data:`DEFAULT_PATTERN_WEIGHTS`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2024,
+        pattern_weights: dict[QueryPattern, float] | None = None,
+    ):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.pattern_weights = dict(pattern_weights or DEFAULT_PATTERN_WEIGHTS)
+        unknown = set(self.pattern_weights) - set(_TEMPLATE_FUNCTIONS)
+        if unknown:
+            raise ValueError(f"unknown patterns in weights: {sorted(p.value for p in unknown)}")
+        self._counter = 0
+
+    # ------------------------------------------------------------------ public
+    def generate_one(self, pattern: QueryPattern | None = None) -> WorkloadQuery:
+        """Generate a single query, optionally forcing a pattern."""
+        chosen = pattern or self._sample_pattern()
+        template = _TEMPLATE_FUNCTIONS[chosen]
+        sql, params = template(self._rng)
+        self._counter += 1
+        return WorkloadQuery(
+            query_id=f"q{self._counter:05d}",
+            sql=sql,
+            pattern=chosen,
+            params=params,
+        )
+
+    def generate(self, count: int, pattern: QueryPattern | None = None) -> list[WorkloadQuery]:
+        """Generate ``count`` queries."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate_one(pattern) for _ in range(count)]
+
+    def generate_balanced(self, count: int) -> list[WorkloadQuery]:
+        """Generate a workload that cycles through every pattern evenly.
+
+        Used to build the knowledge base, where the goal is coverage of the
+        performance-distinction space rather than matching the production
+        query mix.
+        """
+        patterns = [pattern for pattern in QueryPattern if self.pattern_weights.get(pattern, 0) > 0]
+        queries: list[WorkloadQuery] = []
+        for index in range(count):
+            queries.append(self.generate_one(patterns[index % len(patterns)]))
+        return queries
+
+    # ---------------------------------------------------------------- internal
+    def _sample_pattern(self) -> QueryPattern:
+        patterns = list(self.pattern_weights)
+        weights = [self.pattern_weights[pattern] for pattern in patterns]
+        return self._rng.choices(patterns, weights=weights, k=1)[0]

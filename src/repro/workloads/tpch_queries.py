@@ -1,0 +1,239 @@
+"""TPC-H query templates used by the workload generator.
+
+Each template is a function ``(rng) -> (sql, params)`` producing a concrete
+SQL string plus the parameter dictionary that instantiated it.  Templates are
+grouped into the two pattern families of the paper (join queries and top-N
+queries) plus the auxiliary single-table patterns needed to cover the cases
+where the TP engine wins (selective index access, small tables, point
+lookups).
+
+The constants below (market segments, nations, phone prefixes, order
+statuses) follow the TPC-H specification's domains so the statistics module
+produces sensible selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+
+MARKET_SEGMENTS = ["automobile", "building", "furniture", "machinery", "household"]
+NATIONS = [
+    "algeria", "argentina", "brazil", "canada", "egypt", "ethiopia", "france",
+    "germany", "india", "indonesia", "iran", "iraq", "japan", "jordan", "kenya",
+    "morocco", "mozambique", "peru", "china", "romania", "saudi arabia",
+    "vietnam", "russia", "united kingdom", "united states",
+]
+PHONE_PREFIXES = [str(prefix) for prefix in range(10, 35)]
+ORDER_STATUSES = ["o", "f", "p"]
+ORDER_PRIORITIES = ["1-urgent", "2-high", "3-medium", "4-not specified", "5-low"]
+SHIP_MODES = ["reg air", "air", "rail", "ship", "truck", "mail", "fob"]
+RETURN_FLAGS = ["r", "a", "n"]
+SHIP_DATES = [f"199{year}-{month:02d}-01" for year in range(2, 9) for month in (3, 6, 9, 12)]
+
+
+def _choose(rng: random.Random, values: list[str], count: int) -> list[str]:
+    return rng.sample(values, min(count, len(values)))
+
+
+# --------------------------------------------------------------------- joins
+def join_3way_phone_prefix(rng: random.Random) -> tuple[str, dict]:
+    """The Example-1 family: 3-way join with a function-wrapped IN predicate.
+
+    The SUBSTRING over ``c_phone`` defeats any index on that column, and the
+    join columns have no secondary index, so the TP engine is stuck with
+    nested-loop joins over large inputs while the AP engine hash-joins.
+    """
+    prefixes = _choose(rng, PHONE_PREFIXES, rng.randint(3, 8))
+    segment = rng.choice(MARKET_SEGMENTS)
+    nation = rng.choice(NATIONS)
+    status = rng.choice(ORDER_STATUSES)
+    prefix_list = ", ".join(f"'{prefix}'" for prefix in prefixes)
+    sql = (
+        "SELECT COUNT(*) FROM customer, nation, orders "
+        f"WHERE SUBSTRING(c_phone, 1, 2) IN ({prefix_list}) "
+        f"AND c_mktsegment = '{segment}' "
+        f"AND n_name = '{nation}' AND o_orderstatus = '{status}' "
+        "AND o_custkey = c_custkey AND n_nationkey = c_nationkey;"
+    )
+    params = {
+        "prefixes": prefixes,
+        "segment": segment,
+        "nation": nation,
+        "status": status,
+        "joined_tables": 3,
+    }
+    return sql, params
+
+
+def join_2way_customer_orders(rng: random.Random) -> tuple[str, dict]:
+    """Customer–orders join with a segment filter; large inputs, no usable index."""
+    segment = rng.choice(MARKET_SEGMENTS)
+    priority = rng.choice(ORDER_PRIORITIES)
+    sql = (
+        "SELECT COUNT(*), SUM(o_totalprice) FROM customer, orders "
+        f"WHERE c_mktsegment = '{segment}' AND o_orderpriority = '{priority}' "
+        "AND c_custkey = o_custkey;"
+    )
+    return sql, {"segment": segment, "priority": priority, "joined_tables": 2}
+
+
+def join_2way_orders_lineitem(rng: random.Random) -> tuple[str, dict]:
+    """Orders–lineitem join filtered by ship mode and date; the biggest tables."""
+    ship_mode = rng.choice(SHIP_MODES)
+    ship_date = rng.choice(SHIP_DATES)
+    sql = (
+        "SELECT COUNT(*), SUM(l_extendedprice) FROM orders, lineitem "
+        f"WHERE l_shipmode = '{ship_mode}' AND l_shipdate <= '{ship_date}' "
+        "AND l_orderkey = o_orderkey;"
+    )
+    return sql, {"ship_mode": ship_mode, "ship_date": ship_date, "joined_tables": 2}
+
+
+def join_4way_supplier_chain(rng: random.Random) -> tuple[str, dict]:
+    """Four-way join across the supplier side of the schema."""
+    nation = rng.choice(NATIONS)
+    ship_mode = rng.choice(SHIP_MODES)
+    sql = (
+        "SELECT COUNT(*) FROM supplier, nation, lineitem, orders "
+        f"WHERE n_name = '{nation}' AND l_shipmode = '{ship_mode}' "
+        "AND s_nationkey = n_nationkey AND l_suppkey = s_suppkey "
+        "AND l_orderkey = o_orderkey;"
+    )
+    return sql, {"nation": nation, "ship_mode": ship_mode, "joined_tables": 4}
+
+
+def join_2way_point_customer(rng: random.Random) -> tuple[str, dict]:
+    """Join driven by a primary-key point predicate: very selective on TP."""
+    custkey = rng.randint(1, 1_000_000)
+    sql = (
+        "SELECT c_name, COUNT(*) FROM customer, orders "
+        f"WHERE c_custkey = {custkey} AND c_custkey = o_custkey "
+        "GROUP BY c_name;"
+    )
+    return sql, {"custkey": custkey, "joined_tables": 2}
+
+
+def join_2way_small_tables(rng: random.Random) -> tuple[str, dict]:
+    """Join between two small dimension tables: the AP start-up cost dominates."""
+    region = rng.choice(["africa", "america", "asia", "europe", "middle east"])
+    sql = (
+        "SELECT COUNT(*) FROM nation, region "
+        f"WHERE r_name = '{region}' AND n_regionkey = r_regionkey;"
+    )
+    return sql, {"region": region, "joined_tables": 2}
+
+
+def join_3way_part_supplier(rng: random.Random) -> tuple[str, dict]:
+    """Part–partsupp–supplier join with a brand filter."""
+    brand = f"brand#{rng.randint(1, 5)}{rng.randint(1, 5)}"
+    size = rng.randint(1, 50)
+    sql = (
+        "SELECT COUNT(*), MIN(ps_supplycost) FROM part, partsupp, supplier "
+        f"WHERE p_brand = '{brand}' AND p_size = {size} "
+        "AND ps_partkey = p_partkey AND ps_suppkey = s_suppkey;"
+    )
+    return sql, {"brand": brand, "size": size, "joined_tables": 3}
+
+
+# --------------------------------------------------------------------- top-N
+def topn_orders_by_price(rng: random.Random) -> tuple[str, dict]:
+    """Top-N over a non-indexed ordering column: requires a full scan + sort."""
+    limit = rng.choice([5, 10, 50, 100])
+    status = rng.choice(ORDER_STATUSES)
+    sql = (
+        "SELECT o_orderkey, o_totalprice FROM orders "
+        f"WHERE o_orderstatus = '{status}' "
+        f"ORDER BY o_totalprice DESC LIMIT {limit};"
+    )
+    return sql, {"limit": limit, "status": status, "order_column": "o_totalprice"}
+
+
+def topn_orders_by_key(rng: random.Random) -> tuple[str, dict]:
+    """Top-N ordered by the primary key: the TP index provides the order."""
+    limit = rng.choice([5, 10, 20, 100])
+    sql = (
+        "SELECT o_orderkey, o_totalprice FROM orders "
+        f"ORDER BY o_orderkey LIMIT {limit};"
+    )
+    return sql, {"limit": limit, "order_column": "o_orderkey"}
+
+
+def topn_customer_by_balance(rng: random.Random) -> tuple[str, dict]:
+    """Top-N customers by account balance (non-indexed ordering column)."""
+    limit = rng.choice([10, 20, 100])
+    segment = rng.choice(MARKET_SEGMENTS)
+    sql = (
+        "SELECT c_custkey, c_name, c_acctbal FROM customer "
+        f"WHERE c_mktsegment = '{segment}' "
+        f"ORDER BY c_acctbal DESC LIMIT {limit};"
+    )
+    return sql, {"limit": limit, "segment": segment, "order_column": "c_acctbal"}
+
+
+def topn_with_offset(rng: random.Random) -> tuple[str, dict]:
+    """Top-N with a large OFFSET — the 'relative value' case DBG-PT cannot judge."""
+    limit = rng.choice([10, 20])
+    offset = rng.choice([1_000, 10_000, 100_000])
+    sql = (
+        "SELECT l_orderkey, l_extendedprice FROM lineitem "
+        f"ORDER BY l_extendedprice DESC LIMIT {limit} OFFSET {offset};"
+    )
+    return sql, {"limit": limit, "offset": offset, "order_column": "l_extendedprice"}
+
+
+def topn_lineitem_by_key(rng: random.Random) -> tuple[str, dict]:
+    """Top-N ordered by the lineitem primary key prefix."""
+    limit = rng.choice([10, 50])
+    sql = (
+        "SELECT l_orderkey, l_quantity FROM lineitem "
+        f"ORDER BY l_orderkey LIMIT {limit};"
+    )
+    return sql, {"limit": limit, "order_column": "l_orderkey"}
+
+
+# -------------------------------------------------------- selective / lookup
+def point_lookup_order(rng: random.Random) -> tuple[str, dict]:
+    """Primary-key point lookup: the canonical TP-friendly query."""
+    orderkey = rng.randint(1, 10_000_000)
+    sql = f"SELECT o_totalprice, o_orderdate FROM orders WHERE o_orderkey = {orderkey};"
+    return sql, {"orderkey": orderkey}
+
+
+def range_scan_customer(rng: random.Random) -> tuple[str, dict]:
+    """Narrow primary-key range scan on customer."""
+    start = rng.randint(1, 5_000_000)
+    width = rng.choice([50, 200, 1_000])
+    sql = (
+        "SELECT c_custkey, c_name, c_acctbal FROM customer "
+        f"WHERE c_custkey BETWEEN {start} AND {start + width};"
+    )
+    return sql, {"start": start, "width": width}
+
+
+def small_table_scan(rng: random.Random) -> tuple[str, dict]:
+    """Tiny dimension-table query; AP's fixed start-up overhead dominates."""
+    region_key = rng.randint(0, 4)
+    sql = f"SELECT n_name FROM nation WHERE n_regionkey = {region_key};"
+    return sql, {"region_key": region_key}
+
+
+# --------------------------------------------------------------- aggregation
+def aggregation_lineitem(rng: random.Random) -> tuple[str, dict]:
+    """The TPC-H Q1-like pricing summary: large scan + group aggregation."""
+    ship_date = rng.choice(SHIP_DATES)
+    sql = (
+        "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_extendedprice), AVG(l_discount) "
+        f"FROM lineitem WHERE l_shipdate <= '{ship_date}' "
+        "GROUP BY l_returnflag, l_linestatus;"
+    )
+    return sql, {"ship_date": ship_date}
+
+
+def aggregation_orders_by_priority(rng: random.Random) -> tuple[str, dict]:
+    """Order counts grouped by priority (few groups, huge scan)."""
+    status = rng.choice(ORDER_STATUSES)
+    sql = (
+        "SELECT o_orderpriority, COUNT(*) FROM orders "
+        f"WHERE o_orderstatus = '{status}' GROUP BY o_orderpriority;"
+    )
+    return sql, {"status": status}

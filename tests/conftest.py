@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately lightweight: the HTAP simulator never materialises
+data, so building systems and planning queries is cheap.  The trained router
+fixture uses a reduced workload and few epochs to stay fast while still being
+a genuinely trained model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htap.catalog import Catalog
+from repro.htap.statistics import StatisticsCatalog
+from repro.htap.system import HTAPSystem
+from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.llm.simulated import SimulatedLLM
+from repro.router.router import SmartRouter
+from repro.explainer.pipeline import RagExplainer, entries_from_labeled
+from repro.workloads.experts import SimulatedExpert
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.labeling import WorkloadLabeler
+
+EXAMPLE1_SQL = (
+    "SELECT COUNT(*) FROM customer, nation, orders "
+    "WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22', '30', '39', '42', '21') "
+    "AND c_mktsegment = 'machinery' "
+    "AND n_name = 'egypt' AND o_orderstatus = 'p' "
+    "AND o_custkey = c_custkey "
+    "AND n_nationkey = c_nationkey;"
+)
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Catalog:
+    return Catalog(scale_factor=100.0)
+
+
+@pytest.fixture(scope="session")
+def statistics(catalog: Catalog) -> StatisticsCatalog:
+    return StatisticsCatalog(catalog)
+
+
+@pytest.fixture(scope="session")
+def system() -> HTAPSystem:
+    return HTAPSystem(scale_factor=100.0)
+
+
+@pytest.fixture(scope="session")
+def example1_sql() -> str:
+    return EXAMPLE1_SQL
+
+
+@pytest.fixture(scope="session")
+def labeled_workload(system: HTAPSystem):
+    """A labeled 60-query workload shared across tests (read-only)."""
+    generator = WorkloadGenerator(seed=11)
+    labeler = WorkloadLabeler(system)
+    return labeler.label_many(generator.generate(60))
+
+
+@pytest.fixture(scope="session")
+def trained_router(system: HTAPSystem, labeled_workload) -> SmartRouter:
+    router = SmartRouter(system.catalog, seed=13)
+    router.fit(labeled_workload, epochs=8)
+    return router
+
+
+@pytest.fixture(scope="session")
+def knowledge_base(trained_router: SmartRouter, labeled_workload) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_many(entries_from_labeled(labeled_workload[:20], trained_router, SimulatedExpert()))
+    return kb
+
+
+@pytest.fixture(scope="session")
+def simulated_llm() -> SimulatedLLM:
+    return SimulatedLLM(seed=7)
+
+
+@pytest.fixture(scope="session")
+def rag_explainer(system, trained_router, knowledge_base, simulated_llm) -> RagExplainer:
+    return RagExplainer(system, trained_router, knowledge_base, simulated_llm, top_k=2)

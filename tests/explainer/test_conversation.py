@@ -1,0 +1,52 @@
+"""Tests for the conversational follow-up interface (paper Section VI-B)."""
+
+import pytest
+
+from repro.explainer.conversation import ExplanationConversation
+
+
+@pytest.fixture()
+def conversation(rag_explainer, simulated_llm, example1_sql):
+    explanation = rag_explainer.explain_sql(example1_sql)
+    return ExplanationConversation(explanation=explanation, llm=simulated_llm)
+
+
+def test_follow_up_about_index_under_function(conversation):
+    turn = conversation.ask(
+        "Why does the predicate on the customer table not benefit from the index on c_phone "
+        "when SUBSTRING is applied?"
+    )
+    assert "index" in turn.answer.lower()
+    assert "substring" in turn.answer.lower() or "function" in turn.answer.lower()
+    assert turn.response.generation_seconds > 0
+    assert conversation.turns == [turn]
+
+
+def test_follow_up_about_cost_comparability(conversation):
+    turn = conversation.ask("Can I compare the cost numbers of the two plans to decide which is faster?")
+    assert "not comparable" in turn.answer or "different" in turn.answer
+
+
+def test_follow_up_about_offset(conversation):
+    turn = conversation.ask("Is an OFFSET of 100000 large enough to matter here?")
+    assert "offset" in turn.answer.lower()
+
+
+def test_unknown_follow_up_gets_default_answer(conversation):
+    turn = conversation.ask("What colour is the database?")
+    assert "dominant factor" in turn.answer
+
+
+def test_history_accumulates_and_feeds_prompt(conversation):
+    conversation.ask("Why is the hash join faster here?")
+    second = conversation.ask("And is that also true for small tables?")
+    assert len(conversation.turns) == 2
+    prompt = conversation._build_prompt("next question")
+    assert "Why is the hash join faster here?" in prompt
+    assert conversation.explanation.sql in prompt
+    assert second.answer
+
+
+def test_empty_question_rejected(conversation):
+    with pytest.raises(ValueError):
+        conversation.ask("   ")

@@ -1,0 +1,108 @@
+"""Tests for the TPC-H catalog."""
+
+import pytest
+
+from repro.htap.catalog import Catalog, ColumnType
+
+
+def test_all_eight_tpch_tables_present(catalog):
+    expected = {"region", "nation", "supplier", "customer", "orders", "lineitem", "part", "partsupp"}
+    assert set(catalog.table_names) == expected
+
+
+def test_row_counts_scale_with_scale_factor():
+    small = Catalog(scale_factor=1)
+    large = Catalog(scale_factor=100)
+    assert large.row_count("orders") == 100 * small.row_count("orders")
+    assert large.row_count("lineitem") == 100 * small.row_count("lineitem")
+
+
+def test_fixed_tables_do_not_scale():
+    small = Catalog(scale_factor=1)
+    large = Catalog(scale_factor=100)
+    assert small.row_count("nation") == large.row_count("nation") == 25
+    assert small.row_count("region") == large.row_count("region") == 5
+
+
+def test_sf100_orders_cardinality_matches_spec(catalog):
+    assert catalog.row_count("orders") == 150_000_000
+    assert catalog.row_count("customer") == 15_000_000
+
+
+def test_invalid_scale_factor_rejected():
+    with pytest.raises(ValueError):
+        Catalog(scale_factor=0)
+
+
+def test_unknown_table_raises(catalog):
+    with pytest.raises(KeyError):
+        catalog.table("warehouse")
+
+
+def test_column_lookup_and_width(catalog):
+    orders = catalog.table("orders")
+    status = orders.column("o_orderstatus")
+    assert status.type is ColumnType.CHAR
+    assert status.width_bytes == 1  # width override
+    with pytest.raises(KeyError):
+        orders.column("o_missing")
+
+
+def test_resolve_column_finds_unique_owner(catalog):
+    table, column = catalog.resolve_column("c_phone")
+    assert table.name == "customer"
+    assert column.name == "c_phone"
+    with pytest.raises(KeyError):
+        catalog.resolve_column("not_a_column")
+
+
+def test_default_indexes_are_primary_keys_only(catalog):
+    assert all(index.primary for index in catalog.indexes)
+    assert catalog.index_on_column("customer", "c_custkey") is not None
+    assert catalog.index_on_column("customer", "c_nationkey") is None
+
+
+def test_fk_indexes_can_be_enabled():
+    with_fk = Catalog(scale_factor=1, include_fk_indexes=True)
+    assert with_fk.index_on_column("orders", "o_custkey") is not None
+    assert with_fk.index_on_column("customer", "c_nationkey") is not None
+
+
+def test_create_and_drop_secondary_index():
+    catalog = Catalog(scale_factor=1)
+    index = catalog.create_index("customer", "c_phone")
+    assert catalog.index_on_column("customer", "c_phone") is index
+    # Creating again returns the existing index rather than duplicating it.
+    assert catalog.create_index("customer", "c_phone") is index
+    catalog.drop_index(index.name)
+    assert catalog.index_on_column("customer", "c_phone") is None
+
+
+def test_cannot_drop_primary_key_index():
+    catalog = Catalog(scale_factor=1)
+    with pytest.raises(ValueError):
+        catalog.drop_index("pk_orders")
+
+
+def test_create_index_on_unknown_column_raises():
+    catalog = Catalog(scale_factor=1)
+    with pytest.raises(KeyError):
+        catalog.create_index("customer", "c_missing")
+
+
+def test_table_sizes_are_positive_and_scale(catalog):
+    assert catalog.table_size_bytes("lineitem") > catalog.table_size_bytes("nation")
+    assert catalog.database_size_bytes() > 50e9  # roughly 100 GB class
+
+
+def test_pk_fk_relationship_detection(catalog):
+    assert catalog.join_is_pk_fk("orders", "o_custkey", "customer", "c_custkey")
+    assert catalog.join_is_pk_fk("customer", "c_custkey", "orders", "o_custkey")
+    assert not catalog.join_is_pk_fk("orders", "o_orderstatus", "customer", "c_custkey")
+
+
+def test_distinct_values_respects_fixed_domains(catalog):
+    nation = catalog.table("nation")
+    assert nation.column("n_name").distinct_values(25) == 25
+    orders = catalog.table("orders")
+    assert orders.column("o_orderstatus").distinct_values(catalog.row_count("orders")) == 3

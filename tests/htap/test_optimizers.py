@@ -1,0 +1,189 @@
+"""Tests for query analysis, the two optimizers, and their cost models."""
+
+import pytest
+
+from repro.htap.catalog import Catalog
+from repro.htap.engines.ap_optimizer import APOptimizer
+from repro.htap.engines.query_analysis import analyze_query
+from repro.htap.engines.tp_optimizer import TPOptimizer
+from repro.htap.plan.nodes import NodeType
+from repro.htap.sql.parser import parse_query
+from repro.htap.statistics import StatisticsCatalog
+
+
+# --------------------------------------------------------- query analysis
+def test_analysis_splits_filters_and_joins(catalog, statistics, example1_sql):
+    analysis = analyze_query(parse_query(example1_sql), catalog, statistics)
+    assert set(analysis.tables) == {"customer", "nation", "orders"}
+    assert analysis.join_count == 2
+    assert analysis.is_aggregation
+    assert not analysis.is_top_n
+    customer = analysis.access["customer"]
+    assert len(customer.filters) == 2
+    assert customer.combined_selectivity < 0.1
+    nation = analysis.access["nation"]
+    assert nation.filtered_rows == pytest.approx(1.0, abs=1.0)
+
+
+def test_analysis_collects_required_columns(catalog, statistics):
+    query = parse_query(
+        "SELECT c_name, o_totalprice FROM customer, orders WHERE c_custkey = o_custkey AND c_mktsegment = 'machinery';"
+    )
+    analysis = analyze_query(query, catalog, statistics)
+    assert {"c_name", "c_custkey", "c_mktsegment"} <= analysis.access["customer"].required_columns
+    assert {"o_totalprice", "o_custkey"} <= analysis.access["orders"].required_columns
+
+
+def test_analysis_rejects_unknown_table(catalog, statistics):
+    with pytest.raises(KeyError):
+        analyze_query(parse_query("SELECT x FROM warehouse;"), catalog, statistics)
+
+
+def test_analysis_top_n_and_offset(catalog, statistics):
+    query = parse_query("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10 OFFSET 500;")
+    analysis = analyze_query(query, catalog, statistics)
+    assert analysis.is_top_n
+    assert analysis.limit == 10
+    assert analysis.offset == 500
+    assert analysis.order_by_columns == [("orders", "o_totalprice", True)]
+
+
+# ------------------------------------------------------------ TP optimizer
+def test_tp_example1_plan_shape(catalog, example1_sql):
+    plan = TPOptimizer(catalog).optimize(parse_query(example1_sql))
+    assert plan.node_type == NodeType.GROUP_AGGREGATE
+    join_types = [node.node_type for node in plan.join_nodes()]
+    assert join_types.count(NodeType.NESTED_LOOP_JOIN) == 2
+    assert not plan.uses_index()  # no FK indexes, substring defeats c_phone
+    assert set(plan.scanned_tables()) == {"nation", "customer", "orders"}
+
+
+def test_tp_uses_index_scan_for_selective_indexed_predicate(catalog):
+    plan = TPOptimizer(catalog).optimize(parse_query("SELECT o_totalprice FROM orders WHERE o_orderkey = 77;"))
+    scans = plan.scan_nodes()
+    assert scans[0].node_type == NodeType.INDEX_SCAN
+    assert scans[0].index_name == "pk_orders"
+    assert scans[0].plan_rows <= 2
+
+
+def test_tp_secondary_index_used_after_creation():
+    catalog = Catalog(scale_factor=100)
+    optimizer = TPOptimizer(catalog)
+    before = optimizer.optimize(parse_query("SELECT c_name FROM customer WHERE c_phone = '11-111';"))
+    assert before.scan_nodes()[0].node_type == NodeType.TABLE_SCAN
+    catalog.create_index("customer", "c_phone")
+    after = TPOptimizer(catalog).optimize(parse_query("SELECT c_name FROM customer WHERE c_phone = '11-111';"))
+    assert after.scan_nodes()[0].node_type == NodeType.INDEX_SCAN
+
+
+def test_tp_index_nested_loop_join_with_fk_indexes():
+    catalog = Catalog(scale_factor=100, include_fk_indexes=True)
+    plan = TPOptimizer(catalog).optimize(
+        parse_query("SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND c_custkey = 5;")
+    )
+    assert any(node.node_type == NodeType.INDEX_NESTED_LOOP_JOIN for node in plan.walk())
+
+
+def test_tp_topn_uses_ordered_index_scan(catalog):
+    plan = TPOptimizer(catalog).optimize(
+        parse_query("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_orderkey LIMIT 10;")
+    )
+    assert plan.node_type == NodeType.LIMIT
+    assert any(node.extra.get("Ordered") == "o_orderkey" for node in plan.walk())
+    assert not any(node.node_type in (NodeType.SORT, NodeType.TOP_N_SORT) for node in plan.walk())
+
+
+def test_tp_topn_without_index_uses_bounded_sort(catalog):
+    plan = TPOptimizer(catalog).optimize(
+        parse_query("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10;")
+    )
+    assert any(node.node_type == NodeType.TOP_N_SORT for node in plan.walk())
+
+
+def test_tp_group_by_many_groups_sorts(catalog):
+    plan = TPOptimizer(catalog).optimize(
+        parse_query("SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey;")
+    )
+    assert any(node.node_type == NodeType.SORT for node in plan.walk())
+    plan_few = TPOptimizer(catalog).optimize(
+        parse_query("SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus;")
+    )
+    assert not any(node.node_type == NodeType.SORT for node in plan_few.walk())
+
+
+def test_tp_costs_positive_and_monotone_with_children(catalog, example1_sql):
+    plan = TPOptimizer(catalog).optimize(parse_query(example1_sql))
+    for node in plan.walk():
+        assert node.total_cost >= 0
+        for child in node.children:
+            assert node.total_cost >= child.total_cost * 0.99
+
+
+# ------------------------------------------------------------ AP optimizer
+def test_ap_example1_plan_shape(catalog, example1_sql):
+    plan = APOptimizer(catalog).optimize(parse_query(example1_sql))
+    assert plan.node_type == NodeType.AGGREGATE
+    joins = plan.find_all(NodeType.HASH_JOIN)
+    assert len(joins) == 2
+    # Build side of the top join is wrapped in a Hash node; probe side is the
+    # larger (orders) subtree.
+    top_join = joins[0]
+    assert top_join.children[1].node_type == NodeType.HASH
+    assert "orders" in [node.relation for node in top_join.children[0].walk() if node.relation]
+    assert not plan.uses_index()
+
+
+def test_ap_scans_prune_columns(catalog, example1_sql):
+    plan = APOptimizer(catalog).optimize(parse_query(example1_sql))
+    customer_scan = next(node for node in plan.scan_nodes() if node.relation == "customer")
+    assert set(customer_scan.output_columns) <= {"c_custkey", "c_mktsegment", "c_nationkey", "c_phone"}
+    assert customer_scan.extra["Storage"] == "column-oriented"
+
+
+def test_ap_never_uses_btree_indexes():
+    catalog = Catalog(scale_factor=100, include_fk_indexes=True)
+    catalog.create_index("customer", "c_phone")
+    plan = APOptimizer(catalog).optimize(
+        parse_query("SELECT c_name FROM customer WHERE c_phone = '11-111';")
+    )
+    assert not plan.uses_index()
+
+
+def test_ap_topn_uses_topn_sort(catalog):
+    plan = APOptimizer(catalog).optimize(
+        parse_query("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10 OFFSET 100;")
+    )
+    top_n = plan.find_all(NodeType.TOP_N_SORT)
+    assert len(top_n) == 1
+    assert top_n[0].extra["Limit"] == "10"
+    assert top_n[0].extra["Offset"] == "100"
+
+
+def test_ap_group_by_uses_hash_aggregate(catalog):
+    plan = APOptimizer(catalog).optimize(
+        parse_query("SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag;")
+    )
+    assert plan.node_type == NodeType.HASH_AGGREGATE
+
+
+def test_cost_units_differ_across_engines(catalog, example1_sql):
+    """The paper's central caveat: AP and TP costs are not comparable.
+
+    The AP optimizer's cost for the same query is orders of magnitude larger
+    than the TP optimizer's even though AP executes faster.
+    """
+    query = parse_query(example1_sql)
+    tp_cost = TPOptimizer(catalog).optimize(query).total_cost
+    ap_cost = APOptimizer(catalog).optimize(query).total_cost
+    assert ap_cost > 100 * tp_cost
+
+
+def test_single_table_queries_have_no_joins(catalog):
+    for sql in (
+        "SELECT n_name FROM nation WHERE n_regionkey = 2;",
+        "SELECT o_totalprice FROM orders WHERE o_orderkey = 5;",
+    ):
+        tp_plan = TPOptimizer(catalog).optimize(parse_query(sql))
+        ap_plan = APOptimizer(catalog).optimize(parse_query(sql))
+        assert not tp_plan.join_nodes()
+        assert not ap_plan.join_nodes()

@@ -1,0 +1,102 @@
+"""Tests for selectivity and cardinality estimation."""
+
+import pytest
+
+from repro.htap.sql.parser import parse_query
+from repro.htap.statistics import StatisticsCatalog
+
+
+def _where(statistics: StatisticsCatalog, table: str, condition: str):
+    query = parse_query(f"SELECT COUNT(*) FROM {table} WHERE {condition};")
+    return statistics.estimate_predicate(table, query.where)
+
+
+def test_equality_selectivity_uses_distinct_count(statistics):
+    estimate = _where(statistics, "orders", "o_orderstatus = 'p'")
+    assert estimate.selectivity == pytest.approx(1.0 / 3.0)
+    assert estimate.index_eligible
+    assert estimate.column == "o_orderstatus"
+
+
+def test_primary_key_equality_is_extremely_selective(statistics):
+    estimate = _where(statistics, "orders", "o_orderkey = 42")
+    assert estimate.selectivity <= 1e-7
+    assert estimate.index_eligible
+
+
+def test_in_list_selectivity_scales_with_list_size(statistics):
+    two = _where(statistics, "customer", "c_mktsegment IN ('machinery', 'building')")
+    one = _where(statistics, "customer", "c_mktsegment IN ('machinery')")
+    assert two.selectivity == pytest.approx(2 * one.selectivity)
+
+
+def test_function_wrapped_predicate_not_index_eligible(statistics):
+    estimate = _where(statistics, "customer", "SUBSTRING(c_phone, 1, 2) IN ('20', '40')")
+    assert not estimate.index_eligible
+    assert estimate.column == "c_phone"
+    assert 0.0 < estimate.selectivity < 0.5
+
+
+def test_conjunction_multiplies_selectivities(statistics):
+    combined = _where(statistics, "customer", "c_mktsegment = 'machinery' AND c_nationkey = 4")
+    single_a = _where(statistics, "customer", "c_mktsegment = 'machinery'")
+    single_b = _where(statistics, "customer", "c_nationkey = 4")
+    assert combined.selectivity == pytest.approx(single_a.selectivity * single_b.selectivity)
+
+
+def test_disjunction_uses_inclusion_exclusion(statistics):
+    either = _where(statistics, "orders", "o_orderstatus = 'p' OR o_orderstatus = 'f'")
+    single = _where(statistics, "orders", "o_orderstatus = 'p'")
+    expected = 2 * single.selectivity - single.selectivity**2
+    assert either.selectivity == pytest.approx(expected)
+    assert not either.index_eligible
+
+
+def test_negation_complements_selectivity(statistics):
+    positive = _where(statistics, "orders", "o_orderstatus = 'p'")
+    negative = _where(statistics, "orders", "NOT o_orderstatus = 'p'")
+    assert negative.selectivity == pytest.approx(1.0 - positive.selectivity)
+
+
+def test_narrow_numeric_between_is_selective(statistics):
+    narrow = _where(statistics, "customer", "c_custkey BETWEEN 1000 AND 1100")
+    assert narrow.selectivity < 1e-4
+    assert narrow.index_eligible
+
+
+def test_like_prefix_vs_wildcard(statistics):
+    prefix = _where(statistics, "part", "p_name LIKE 'forest%'")
+    wildcard = _where(statistics, "part", "p_name LIKE '%forest%'")
+    assert prefix.index_eligible
+    assert not wildcard.index_eligible
+    assert prefix.selectivity < wildcard.selectivity
+
+
+def test_join_selectivity_and_rows(statistics):
+    selectivity = statistics.estimate_join_selectivity("orders", "o_custkey", "customer", "c_custkey")
+    assert selectivity == pytest.approx(1.0 / 15_000_000)
+    rows = statistics.estimate_join_rows(
+        150_000_000, 15_000_000, "orders", "o_custkey", "customer", "c_custkey"
+    )
+    assert rows == pytest.approx(150_000_000, rel=0.01)
+
+
+def test_group_count_bounded_by_input_rows(statistics):
+    groups = statistics.estimate_group_count(1_000.0, [("orders", "o_orderkey")])
+    assert groups <= 1_000.0
+    few = statistics.estimate_group_count(1e9, [("orders", "o_orderstatus")])
+    assert few == pytest.approx(3.0)
+
+
+def test_selectivities_always_within_unit_interval(statistics):
+    conditions = [
+        ("orders", "o_orderstatus = 'p'"),
+        ("orders", "o_totalprice > 1000"),
+        ("customer", "c_acctbal BETWEEN 0 AND 1000"),
+        ("customer", "c_phone LIKE '%99%'"),
+        ("lineitem", "l_shipdate <= '1995-01-01'"),
+        ("nation", "n_name IS NULL"),
+    ]
+    for table, condition in conditions:
+        estimate = _where(statistics, table, condition)
+        assert 0.0 <= estimate.selectivity <= 1.0

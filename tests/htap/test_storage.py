@@ -1,0 +1,136 @@
+"""Tests for the B+-tree and the row/column storage models."""
+
+import pytest
+
+from repro.htap.storage.btree import BPlusTree
+from repro.htap.storage.column_store import ColumnStoreModel
+from repro.htap.storage.row_store import RowStoreModel, PAGE_SIZE_BYTES
+
+
+# ------------------------------------------------------------------ b+tree
+def test_btree_insert_and_search():
+    tree = BPlusTree(order=4)
+    for key in range(100):
+        tree.insert(key, f"row-{key}")
+    assert len(tree) == 100
+    assert tree.search(42) == ["row-42"]
+    assert tree.search(1000) == []
+    assert 42 in tree
+    assert 1000 not in tree
+
+
+def test_btree_duplicate_keys_accumulate():
+    tree = BPlusTree(order=8)
+    tree.insert("x", 1)
+    tree.insert("x", 2)
+    tree.insert("x", 3)
+    assert sorted(tree.search("x")) == [1, 2, 3]
+    assert len(tree) == 3
+
+
+def test_btree_range_scan_in_order():
+    tree = BPlusTree(order=4)
+    for key in range(0, 200, 2):
+        tree.insert(key, key * 10)
+    scanned = list(tree.range_scan(10, 20))
+    assert [key for key, _value in scanned] == [10, 12, 14, 16, 18, 20]
+    assert [value for _key, value in scanned] == [100, 120, 140, 160, 180, 200]
+
+
+def test_btree_items_sorted_even_with_random_insertion_order():
+    import random
+
+    keys = list(range(500))
+    random.Random(3).shuffle(keys)
+    tree = BPlusTree(order=16)
+    for key in keys:
+        tree.insert(key, key)
+    assert [key for key, _ in tree.items()] == sorted(range(500))
+
+
+def test_btree_delete_removes_all_values():
+    tree = BPlusTree(order=4)
+    for key in range(50):
+        tree.insert(key, key)
+    removed = tree.delete(25)
+    assert removed == 1
+    assert tree.search(25) == []
+    assert len(tree) == 49
+    assert tree.delete(25) == 0
+
+
+def test_btree_height_grows_slowly():
+    tree = BPlusTree(order=32)
+    for key in range(5_000):
+        tree.insert(key, key)
+    assert tree.height <= 4
+    assert tree.leaf_count() >= 5_000 // 33
+
+
+def test_btree_rejects_tiny_order():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_estimated_height_monotone():
+    small = BPlusTree.estimated_height(1_000)
+    large = BPlusTree.estimated_height(1_000_000_000)
+    assert small <= large
+    assert BPlusTree.estimated_height(1) == 1
+
+
+# --------------------------------------------------------------- row store
+def test_row_store_page_counts(catalog):
+    model = RowStoreModel(catalog)
+    stats = model.table_stats("orders")
+    assert stats.row_count == catalog.row_count("orders")
+    assert stats.rows_per_page >= 1
+    assert stats.page_count == pytest.approx(stats.row_count / stats.rows_per_page, rel=0.01)
+    assert stats.size_bytes == stats.page_count * PAGE_SIZE_BYTES
+
+
+def test_row_store_index_lookup_pages(catalog):
+    model = RowStoreModel(catalog)
+    pk = catalog.index_on_column("orders", "o_orderkey")
+    assert pk is not None
+    few = model.index_lookup_pages(pk, matching_rows=1)
+    many = model.index_lookup_pages(pk, matching_rows=10_000)
+    assert few < many
+    assert model.index_height(pk) >= 2
+
+
+def test_row_store_full_scan_bigger_for_bigger_tables(catalog):
+    model = RowStoreModel(catalog)
+    assert model.full_scan_pages("lineitem") > model.full_scan_pages("orders") > model.full_scan_pages("nation")
+
+
+# ------------------------------------------------------------ column store
+def test_column_store_compression_reduces_bytes(catalog):
+    model = ColumnStoreModel(catalog)
+    stats = model.column_stats("orders", "o_custkey")
+    assert stats.compressed_bytes < stats.uncompressed_bytes
+    assert stats.chunk_count >= 1
+
+
+def test_column_store_scan_bytes_scale_with_projection(catalog):
+    model = ColumnStoreModel(catalog)
+    narrow = model.scan_bytes("orders", ["o_custkey"])
+    wide = model.scan_bytes("orders", ["o_custkey", "o_orderstatus", "o_totalprice"])
+    everything = model.scan_bytes("orders", None)
+    assert narrow < wide < everything
+
+
+def test_zone_map_skipping_bounds(catalog):
+    model = ColumnStoreModel(catalog)
+    # Selective predicate on a key-like (clustered) column skips chunks.
+    key_skip = model.zone_map_skip_fraction("orders", "o_orderkey", selectivity=1e-6)
+    # Low-cardinality scattered column cannot skip much.
+    status_skip = model.zone_map_skip_fraction("orders", "o_orderstatus", selectivity=0.33)
+    assert 0.0 <= status_skip < key_skip <= 0.95
+
+
+def test_effective_scan_rows_never_exceed_table(catalog):
+    model = ColumnStoreModel(catalog)
+    rows = catalog.row_count("orders")
+    assert model.effective_scan_rows("orders", "o_orderkey", 1e-6) <= rows
+    assert model.effective_scan_rows("orders", None, 0.5) == rows

@@ -1,0 +1,148 @@
+"""Tests for knowledge entries, the knowledge base, and curation policies."""
+
+import numpy as np
+import pytest
+
+from repro.htap.engines.base import EngineKind
+from repro.knowledge.curation import expire_stale_entries, select_representative_queries
+from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.knowledge.vector_store import HNSWVectorStore
+
+
+def _entry(entry_id: str, vector, faster=EngineKind.AP, factors=("hash_join_vs_nested_loop",)) -> KnowledgeEntry:
+    return KnowledgeEntry(
+        entry_id=entry_id,
+        embedding=np.asarray(vector, dtype=float),
+        sql=f"SELECT * FROM orders -- {entry_id}",
+        plan_details={"TP": {"Node Type": "Table Scan"}, "AP": {"Node Type": "Table Scan"}},
+        faster_engine=faster,
+        tp_latency_seconds=5.0,
+        ap_latency_seconds=0.3,
+        expert_explanation="AP is faster because it uses hash joins.",
+        factors=factors,
+    )
+
+
+# ------------------------------------------------------------------- entry
+def test_entry_validation_and_text():
+    entry = _entry("e1", [1.0, 0.0, 0.0])
+    assert "AP was faster" in entry.execution_result_text
+    assert entry.speedup == pytest.approx(5.0 / 0.3, rel=0.01)
+    with pytest.raises(ValueError):
+        _entry("bad", [[1.0, 2.0], [3.0, 4.0]])
+
+
+def test_entry_correction_updates_text_and_count():
+    entry = _entry("e1", [1.0, 0.0])
+    entry.apply_correction("Corrected explanation.", factors=("no_usable_index",))
+    assert entry.expert_explanation == "Corrected explanation."
+    assert entry.factors == ("no_usable_index",)
+    assert entry.correction_count == 1
+
+
+# ---------------------------------------------------------- knowledge base
+def test_kb_add_retrieve_top_k():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0, 0.0]))
+    kb.add(_entry("b", [0.0, 1.0, 0.0]))
+    kb.add(_entry("c", [0.9, 0.1, 0.0]))
+    result = kb.retrieve(np.array([1.0, 0.0, 0.0]), k=2)
+    assert [hit.entry.entry_id for hit in result.hits] == ["a", "c"]
+    assert result.hits[0].rank == 1
+    assert result.hits[0].similarity > result.hits[1].similarity
+    assert result.search_seconds < 0.05
+    assert result.search_ms == pytest.approx(result.search_seconds * 1000)
+
+
+def test_kb_duplicate_and_missing_ids():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0]))
+    with pytest.raises(KeyError):
+        kb.add(_entry("a", [1.0, 0.0]))
+    with pytest.raises(KeyError):
+        kb.get("zzz")
+    with pytest.raises(KeyError):
+        kb.remove("zzz")
+
+
+def test_kb_remove_and_contains():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0]))
+    kb.add(_entry("b", [0.0, 1.0]))
+    removed = kb.remove("a")
+    assert removed.entry_id == "a"
+    assert "a" not in kb
+    assert len(kb) == 1
+    assert [hit.entry.entry_id for hit in kb.retrieve(np.array([1.0, 0.0]), k=5).hits] == ["b"]
+
+
+def test_kb_correct_applies_expert_feedback():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0]))
+    kb.correct("a", "Fixed explanation", ("selective_index_access",))
+    assert kb.get("a").expert_explanation == "Fixed explanation"
+    assert kb.get("a").correction_count == 1
+
+
+def test_kb_insert_order_recorded():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0]))
+    kb.add(_entry("b", [0.0, 1.0]))
+    assert kb.get("a").inserted_at < kb.get("b").inserted_at
+
+
+def test_kb_with_hnsw_backend():
+    kb = KnowledgeBase(vector_store=HNSWVectorStore(seed=4))
+    rng = np.random.default_rng(1)
+    for index in range(50):
+        kb.add(_entry(f"e{index}", rng.normal(size=16)))
+    target = kb.get("e7").embedding
+    hits = kb.retrieve(target, k=3).hits
+    assert hits[0].entry.entry_id == "e7"
+
+
+# ---------------------------------------------------------------- curation
+def test_representative_selection_covers_space():
+    rng = np.random.default_rng(0)
+    clusters = []
+    for center in ([5, 0, 0], [0, 5, 0], [0, 0, 5], [-5, 0, 0]):
+        for index in range(10):
+            clusters.append(np.array(center, dtype=float) + rng.normal(0, 0.1, 3))
+    entries = [_entry(f"e{i}", vector) for i, vector in enumerate(clusters)]
+    selected = select_representative_queries(entries, budget=4)
+    assert len(selected) == 4
+    # One pick from each cluster: the four selected vectors should be far apart.
+    picked = np.vstack([entry.embedding for entry in selected])
+    pairwise_min = min(
+        np.linalg.norm(picked[i] - picked[j]) for i in range(4) for j in range(4) if i != j
+    )
+    assert pairwise_min > 3.0
+
+
+def test_representative_selection_budget_edges():
+    entries = [_entry(f"e{i}", [float(i), 0.0]) for i in range(5)]
+    assert select_representative_queries(entries, 0) == []
+    assert select_representative_queries(entries, 10) == entries
+
+
+def test_expire_stale_entries_prefers_redundant_then_oldest():
+    kb = KnowledgeBase()
+    kb.add(_entry("old-dup", [1.0, 0.0, 0.0]))
+    kb.add(_entry("unique", [0.0, 1.0, 0.0]))
+    kb.add(_entry("new-dup", [1.0, 0.001, 0.0]))
+    removed = expire_stale_entries(kb, max_entries=2)
+    assert [entry.entry_id for entry in removed] == ["old-dup"]
+    assert len(kb) == 2
+    assert "new-dup" in kb and "unique" in kb
+    # Further shrinking falls back to oldest-first.
+    removed_more = expire_stale_entries(kb, max_entries=1)
+    assert len(kb) == 1
+    assert len(removed_more) == 1
+
+
+def test_expire_noop_when_under_budget():
+    kb = KnowledgeBase()
+    kb.add(_entry("a", [1.0, 0.0]))
+    assert expire_stale_entries(kb, max_entries=5) == []
+    assert len(kb) == 1

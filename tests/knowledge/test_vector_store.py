@@ -1,0 +1,143 @@
+"""Tests for the flat and HNSW vector stores."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge.vector_store import (
+    FlatVectorStore,
+    HNSWVectorStore,
+    cosine_distance,
+    euclidean_distance,
+)
+
+
+def _random_vectors(count: int, dimensions: int = 16, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=dimensions) for _ in range(count)]
+
+
+# ----------------------------------------------------------------- metrics
+def test_cosine_distance_basics():
+    a = np.array([1.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert cosine_distance(a, a) == pytest.approx(0.0)
+    assert cosine_distance(a, b) == pytest.approx(1.0)
+    assert cosine_distance(a, -a) == pytest.approx(2.0)
+    assert cosine_distance(a, np.zeros(2)) == 1.0
+
+
+def test_euclidean_distance_basics():
+    assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ValueError):
+        FlatVectorStore(metric="manhattan")
+
+
+# -------------------------------------------------------------- flat store
+def test_flat_store_exact_nearest_neighbor():
+    store = FlatVectorStore()
+    vectors = _random_vectors(50)
+    for index, vector in enumerate(vectors):
+        store.add(f"v{index}", vector)
+    query = vectors[7] + 1e-6
+    results = store.search(query, k=3)
+    assert results[0].key == "v7"
+    assert results[0].distance < results[1].distance <= results[2].distance
+    assert len(store) == 50
+    assert "v7" in store
+
+
+def test_flat_store_duplicate_and_missing_keys():
+    store = FlatVectorStore()
+    store.add("a", np.ones(4))
+    with pytest.raises(KeyError):
+        store.add("a", np.ones(4))
+    with pytest.raises(KeyError):
+        store.remove("b")
+
+
+def test_flat_store_remove_renumbers():
+    store = FlatVectorStore()
+    for index, vector in enumerate(_random_vectors(10)):
+        store.add(f"v{index}", vector)
+    store.remove("v3")
+    assert len(store) == 9
+    assert "v3" not in store.keys()
+    # Remaining keys still searchable.
+    assert {result.key for result in store.search(np.zeros(16), k=9)} == set(store.keys())
+
+
+def test_flat_store_k_bounds():
+    store = FlatVectorStore()
+    assert store.search(np.zeros(4), k=3) == []
+    store.add("a", np.ones(4))
+    assert len(store.search(np.ones(4), k=10)) == 1
+    assert store.search(np.ones(4), k=0) == []
+
+
+def test_flat_store_euclidean_metric():
+    store = FlatVectorStore(metric="euclidean")
+    store.add("near", np.array([1.0, 1.0]))
+    store.add("far", np.array([10.0, 10.0]))
+    assert store.search(np.array([0.0, 0.0]), k=1)[0].key == "near"
+
+
+# -------------------------------------------------------------- HNSW store
+def test_hnsw_matches_flat_on_small_data():
+    vectors = _random_vectors(200, seed=5)
+    flat = FlatVectorStore()
+    hnsw = HNSWVectorStore(seed=1)
+    for index, vector in enumerate(vectors):
+        flat.add(f"v{index}", vector)
+        hnsw.add(f"v{index}", vector)
+    queries = _random_vectors(25, seed=9)
+    recall_hits = 0
+    for query in queries:
+        exact = {result.key for result in flat.search(query, k=5)}
+        approx = {result.key for result in hnsw.search(query, k=5)}
+        recall_hits += len(exact & approx)
+    recall = recall_hits / (len(queries) * 5)
+    assert recall >= 0.9  # HNSW should be a high-recall approximation
+
+
+def test_hnsw_handles_deletions():
+    hnsw = HNSWVectorStore(seed=2)
+    vectors = _random_vectors(40, seed=3)
+    for index, vector in enumerate(vectors):
+        hnsw.add(f"v{index}", vector)
+    target = hnsw.search(vectors[11], k=1)[0].key
+    hnsw.remove(target)
+    assert len(hnsw) == 39
+    assert target not in hnsw.keys()
+    results = hnsw.search(vectors[11], k=5)
+    assert target not in {result.key for result in results}
+    with pytest.raises(KeyError):
+        hnsw.remove(target)
+
+
+def test_hnsw_duplicate_key_rejected():
+    hnsw = HNSWVectorStore()
+    hnsw.add("a", np.ones(8))
+    with pytest.raises(KeyError):
+        hnsw.add("a", np.ones(8))
+
+
+def test_hnsw_empty_and_single_entry():
+    hnsw = HNSWVectorStore()
+    assert hnsw.search(np.ones(8), k=2) == []
+    hnsw.add("only", np.ones(8))
+    results = hnsw.search(np.ones(8), k=2)
+    assert [result.key for result in results] == ["only"]
+
+
+def test_hnsw_parameter_validation():
+    with pytest.raises(ValueError):
+        HNSWVectorStore(M=1)
+
+
+def test_add_many_convenience():
+    store = FlatVectorStore()
+    store.add_many((f"v{i}", vector) for i, vector in enumerate(_random_vectors(5)))
+    assert len(store) == 5

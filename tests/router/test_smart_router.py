@@ -1,0 +1,71 @@
+"""Tests for training and the SmartRouter facade (paper claims in III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.htap.engines.base import EngineKind
+from repro.router.router import SmartRouter
+
+
+def test_training_report_and_high_accuracy(trained_router, labeled_workload):
+    report = trained_router.training_report
+    assert report is not None
+    assert report.epochs == 8
+    assert report.final_train_loss < 1.0
+    assert report.final_train_accuracy >= 0.85
+    # The paper's claim: the router identifies the faster engine with high accuracy.
+    assert trained_router.accuracy(labeled_workload) >= 0.85
+
+
+def test_routing_decision_fields(trained_router, labeled_workload):
+    decision = trained_router.route(labeled_workload[0].execution.plan_pair)
+    assert decision.engine in (EngineKind.TP, EngineKind.AP)
+    assert 0.5 <= decision.confidence <= 1.0
+    assert decision.probabilities[0] + decision.probabilities[1] == pytest.approx(1.0)
+    assert decision.inference_seconds < 0.05  # well under the paper's 1 ms budget in most runs
+
+
+def test_embedding_is_16_dim_and_deterministic(trained_router, labeled_workload):
+    pair = labeled_workload[0].execution.plan_pair
+    first = trained_router.embed_pair(pair)
+    second = trained_router.embed_pair(pair)
+    assert first.shape == (16,)
+    assert np.allclose(first, second)
+
+
+def test_different_plan_pairs_get_different_embeddings(trained_router, labeled_workload):
+    first = trained_router.embed_pair(labeled_workload[0].execution.plan_pair)
+    others = [
+        trained_router.embed_pair(labeled.execution.plan_pair) for labeled in labeled_workload[1:10]
+    ]
+    assert any(not np.allclose(first, other) for other in others)
+
+
+def test_model_size_under_one_megabyte(trained_router):
+    assert trained_router.model_size_bytes() < 1_000_000
+
+
+def test_timed_embed_reports_duration(trained_router, labeled_workload):
+    _embedding, seconds = trained_router.timed_embed(labeled_workload[0].execution.plan_pair)
+    assert 0.0 < seconds < 0.1
+
+
+def test_save_and_load_roundtrip(tmp_path, trained_router, labeled_workload, system):
+    path = tmp_path / "router.pkl"
+    trained_router.save(path)
+    restored = SmartRouter.load(path, system.catalog)
+    pair = labeled_workload[3].execution.plan_pair
+    assert np.allclose(restored.embed_pair(pair), trained_router.embed_pair(pair))
+    assert restored.route(pair).engine == trained_router.route(pair).engine
+
+
+def test_fit_on_empty_set_raises(system):
+    router = SmartRouter(system.catalog)
+    with pytest.raises(ValueError):
+        router.fit([])
+
+
+def test_untrained_router_still_embeds(system, labeled_workload):
+    router = SmartRouter(system.catalog)
+    embedding = router.embed_pair(labeled_workload[0].execution.plan_pair)
+    assert embedding.shape == (16,)

@@ -1,0 +1,168 @@
+"""Tests for workload generation, labeling, expert curation, and datasets."""
+
+import pytest
+
+from repro.htap.engines.base import EngineKind
+from repro.htap.sql.parser import parse_query
+from repro.workloads.datasets import build_paper_dataset
+from repro.workloads.experts import SimulatedExpert, factor_is_consistent
+from repro.workloads.generator import DEFAULT_PATTERN_WEIGHTS, QueryPattern, WorkloadGenerator
+from repro.workloads.labeling import ExplanationFactor, WorkloadLabeler
+
+
+# --------------------------------------------------------------- generator
+def test_generator_is_deterministic_per_seed():
+    first = [query.sql for query in WorkloadGenerator(seed=5).generate(20)]
+    second = [query.sql for query in WorkloadGenerator(seed=5).generate(20)]
+    third = [query.sql for query in WorkloadGenerator(seed=6).generate(20)]
+    assert first == second
+    assert first != third
+
+
+def test_generated_queries_all_parse(system):
+    for query in WorkloadGenerator(seed=1).generate(120):
+        parsed = parse_query(query.sql)
+        assert parsed.tables
+        system.explain_pair(parsed)  # plans successfully on both engines
+
+
+def test_every_pattern_produces_valid_queries():
+    generator = WorkloadGenerator(seed=2)
+    for pattern in QueryPattern:
+        query = generator.generate_one(pattern)
+        assert query.pattern is pattern
+        assert query.family in {"join", "topn", "selective", "aggregation"}
+        parse_query(query.sql)
+
+
+def test_balanced_generation_cycles_patterns():
+    queries = WorkloadGenerator(seed=3).generate_balanced(len(QueryPattern))
+    assert {query.pattern for query in queries} == set(QueryPattern)
+
+
+def test_pattern_families_match_paper_section_iv():
+    joins = [pattern for pattern in QueryPattern if pattern.family == "join"]
+    topns = [pattern for pattern in QueryPattern if pattern.family == "topn"]
+    assert len(joins) >= 5
+    assert len(topns) >= 4
+
+
+def test_generator_rejects_negative_count():
+    with pytest.raises(ValueError):
+        WorkloadGenerator().generate(-1)
+
+
+def test_default_weights_cover_all_patterns():
+    assert set(DEFAULT_PATTERN_WEIGHTS) == set(QueryPattern)
+    assert all(weight > 0 for weight in DEFAULT_PATTERN_WEIGHTS.values())
+
+
+def test_query_ids_are_unique():
+    queries = WorkloadGenerator(seed=4).generate(50)
+    assert len({query.query_id for query in queries}) == 50
+
+
+# ----------------------------------------------------------------- labeler
+def test_labeler_produces_consistent_ground_truth(system, labeled_workload):
+    for labeled in labeled_workload:
+        ground_truth = labeled.ground_truth
+        assert ground_truth.faster_engine is labeled.execution.faster_engine
+        assert ground_truth.speedup >= 1.0
+        # The primary factor must argue for the winning engine.
+        assert ground_truth.primary_factor.favours is ground_truth.faster_engine
+        assert ground_truth.primary_factor not in ground_truth.secondary_factors
+
+
+def test_labeler_example1_factors(system, example1_sql):
+    labeler = WorkloadLabeler(system)
+    generator = WorkloadGenerator(seed=1)
+    query = generator.generate_one(QueryPattern.JOIN_PHONE_PREFIX)
+    workload_query = type(query)(query_id="ex1", sql=example1_sql, pattern=query.pattern, params={})
+    labeled = labeler.label(workload_query)
+    assert labeled.faster_engine is EngineKind.AP
+    assert labeled.ground_truth.primary_factor is ExplanationFactor.HASH_JOIN_VS_NESTED_LOOP
+    values = labeled.ground_truth.factor_values()
+    assert ExplanationFactor.NO_USABLE_INDEX.value in values
+
+
+def test_labeler_detects_index_defeated_by_function(example1_sql):
+    """With the paper's extra index on c_phone, the SUBSTRING predicate defeats it."""
+    from repro.htap.system import HTAPSystem
+
+    system_with_index = HTAPSystem(scale_factor=100)
+    system_with_index.create_index("customer", "c_phone")
+    labeler = WorkloadLabeler(system_with_index)
+    query = WorkloadGenerator(seed=1).generate_one(QueryPattern.JOIN_PHONE_PREFIX)
+    workload_query = type(query)(query_id="ex1", sql=example1_sql, pattern=query.pattern, params={})
+    labeled = labeler.label(workload_query)
+    values = labeled.ground_truth.factor_values()
+    assert ExplanationFactor.INDEX_DEFEATED_BY_FUNCTION.value in values
+    # The plans are unchanged: the TP engine still cannot use the index.
+    assert not labeled.execution.plan_pair.tp_plan.uses_index()
+
+
+def test_workload_covers_both_winners_and_many_factors(labeled_workload):
+    winners = {labeled.faster_engine for labeled in labeled_workload}
+    assert winners == {EngineKind.TP, EngineKind.AP}
+    primary_factors = {labeled.ground_truth.primary_factor for labeled in labeled_workload}
+    assert len(primary_factors) >= 5
+
+
+def test_topn_indexed_query_gets_order_factor(system):
+    labeler = WorkloadLabeler(system)
+    query = WorkloadGenerator(seed=8).generate_one(QueryPattern.TOPN_ORDERS_KEY)
+    labeled = labeler.label(query)
+    assert labeled.faster_engine is EngineKind.TP
+    assert labeled.ground_truth.primary_factor is ExplanationFactor.INDEX_PROVIDES_ORDER
+
+
+def test_factor_favours_mapping():
+    assert ExplanationFactor.HASH_JOIN_VS_NESTED_LOOP.favours is EngineKind.AP
+    assert ExplanationFactor.SELECTIVE_INDEX_ACCESS.favours is EngineKind.TP
+    assert factor_is_consistent(ExplanationFactor.SELECTIVE_INDEX_ACCESS, EngineKind.TP)
+    assert not factor_is_consistent(ExplanationFactor.SELECTIVE_INDEX_ACCESS, EngineKind.AP)
+    for factor in ExplanationFactor:
+        assert factor.short_description
+
+
+# ----------------------------------------------------------------- experts
+def test_expert_explanation_names_winner_and_factor(labeled_workload):
+    expert = SimulatedExpert()
+    for labeled in labeled_workload[:10]:
+        text = expert.explain(labeled)
+        assert labeled.faster_engine.value in text.split()[0]  # starts with the winner
+        assert "faster" in text
+        verdict = expert.execution_verdict(labeled)
+        assert "TP" in verdict and "AP" in verdict
+
+
+def test_expert_example1_style(system, example1_sql, labeled_workload):
+    labeler = WorkloadLabeler(system)
+    query = WorkloadGenerator(seed=1).generate_one(QueryPattern.JOIN_PHONE_PREFIX)
+    workload_query = type(query)(query_id="ex1", sql=example1_sql, pattern=query.pattern, params={})
+    labeled = labeler.label(workload_query)
+    text = SimulatedExpert().explain(labeled)
+    assert "nested loop join" in text
+    assert "hash join" in text
+
+
+def test_expert_without_secondary_sentences():
+    expert = SimulatedExpert(include_secondary=False)
+    assert expert.include_secondary is False
+
+
+# ---------------------------------------------------------------- datasets
+def test_paper_dataset_sizes(system):
+    dataset = build_paper_dataset(
+        system, knowledge_base_size=10, test_size=30, router_training_size=40, seed=5
+    )
+    assert dataset.summary() == {"router_training": 40, "knowledge_base": 10, "test": 30}
+    # The knowledge-base queries are part of the router training set.
+    training_ids = {labeled.query_id for labeled in dataset.router_training}
+    assert {labeled.query_id for labeled in dataset.knowledge_base} <= training_ids
+    assert len(dataset.all_labeled()) == 80
+
+
+def test_paper_dataset_rejects_negative_sizes(system):
+    with pytest.raises(ValueError):
+        build_paper_dataset(system, knowledge_base_size=-1)
