@@ -26,7 +26,7 @@ from repro.htap.engines.base import EngineKind
 from repro.htap.plan.serialize import plan_to_dict
 from repro.htap.system import HTAPSystem, PlanPair, QueryExecution
 from repro.knowledge.entry import KnowledgeEntry
-from repro.knowledge.knowledge_base import KnowledgeBase, RetrievedKnowledge
+from repro.knowledge.knowledge_base import KnowledgeBase, RetrievalResult, RetrievedKnowledge
 from repro.llm.client import LLMClient, LLMRequest, LLMResponse
 from repro.llm.prompts import KnowledgeAttachment, PromptBuilder, PromptPayload, QuestionAttachment
 from repro.router.router import SmartRouter
@@ -94,8 +94,23 @@ def entries_from_labeled(
     return entries
 
 
+def execution_result_text(execution: QueryExecution) -> str:
+    """The one-line execution summary fed to the prompt for a run query."""
+    return (
+        f"{execution.faster_engine.value} was faster "
+        f"(TP {execution.tp_result.latency_seconds:.3f}s vs "
+        f"AP {execution.ap_result.latency_seconds:.3f}s)"
+    )
+
+
 class RagExplainer:
-    """Retrieval-augmented explanation generator."""
+    """Retrieval-augmented explanation generator.
+
+    The pipeline is decomposed into three reusable stages —
+    :meth:`encode_stage`, :meth:`retrieve_stage`, :meth:`generate_stage` —
+    so callers that already hold an embedding (the serving layer's plan
+    cache and micro-batcher) can skip straight to retrieval and generation.
+    """
 
     def __init__(
         self,
@@ -132,11 +147,7 @@ class RagExplainer:
         user_notes: str | None = None,
     ) -> Explanation:
         """Explain an already-executed query (both plans and latencies known)."""
-        result_text = (
-            f"{execution.faster_engine.value} was faster "
-            f"(TP {execution.tp_result.latency_seconds:.3f}s vs "
-            f"AP {execution.ap_result.latency_seconds:.3f}s)"
-        )
+        result_text = execution_result_text(execution)
         return self._explain(
             execution.plan_pair,
             execution_result=result_text,
@@ -160,17 +171,27 @@ class RagExplainer:
             user_notes=user_notes,
         )
 
-    # --------------------------------------------------------------- internals
-    def _explain(
+    # ------------------------------------------------------------------ stages
+    def encode_stage(self, plan_pair: PlanPair) -> tuple[np.ndarray, float]:
+        """Stage 1: encode the plan pair; returns (embedding, encode seconds)."""
+        return self.router.timed_embed(plan_pair)
+
+    def retrieve_stage(self, embedding: np.ndarray) -> RetrievalResult:
+        """Stage 2: top-K knowledge retrieval for an embedding."""
+        return self.knowledge_base.retrieve(embedding, k=self.top_k)
+
+    def generate_stage(
         self,
         plan_pair: PlanPair,
+        embedding: np.ndarray,
+        retrieval: RetrievalResult,
         *,
-        execution_result: str | None,
-        faster_engine: EngineKind | None,
-        user_notes: str | None,
+        encode_seconds: float = 0.0,
+        execution_result: str | None = None,
+        faster_engine: EngineKind | None = None,
+        user_notes: str | None = None,
     ) -> Explanation:
-        embedding, encode_seconds = self.router.timed_embed(plan_pair)
-        retrieval = self.knowledge_base.retrieve(embedding, k=self.top_k)
+        """Stage 3: assemble the prompt, call the LLM, package the result."""
         knowledge_attachments = [
             KnowledgeAttachment.from_entry(hit.entry, similarity=hit.similarity)
             for hit in retrieval.hits
@@ -201,4 +222,25 @@ class RagExplainer:
             latency=latency,
             embedding=embedding,
             claims=dict(response.claims),
+        )
+
+    # --------------------------------------------------------------- internals
+    def _explain(
+        self,
+        plan_pair: PlanPair,
+        *,
+        execution_result: str | None,
+        faster_engine: EngineKind | None,
+        user_notes: str | None,
+    ) -> Explanation:
+        embedding, encode_seconds = self.encode_stage(plan_pair)
+        retrieval = self.retrieve_stage(embedding)
+        return self.generate_stage(
+            plan_pair,
+            embedding,
+            retrieval,
+            encode_seconds=encode_seconds,
+            execution_result=execution_result,
+            faster_engine=faster_engine,
+            user_notes=user_notes,
         )

@@ -16,6 +16,7 @@ needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.htap.catalog import Catalog, Index
 from repro.htap.engines.ap_optimizer import APOptimizer
@@ -109,14 +110,34 @@ class HTAPSystem:
         self.tp_optimizer = TPOptimizer(self.catalog, self.statistics)
         self.ap_optimizer = APOptimizer(self.catalog, self.statistics)
         self.simulator = ExecutionSimulator(self.catalog, hardware)
+        self._ddl_listeners: list[Callable[[str, str], None]] = []
 
     # ------------------------------------------------------------------- DDL
+    def add_ddl_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Register a ``(event, index_name)`` callback fired after every DDL.
+
+        Events are ``"create_index"`` and ``"drop_index"``.  The serving
+        layer subscribes to invalidate its plan and explanation caches —
+        a new or dropped index changes the plans the optimizers produce.
+        """
+        self._ddl_listeners.append(listener)
+
+    def remove_ddl_listener(self, listener: Callable[[str, str], None]) -> None:
+        self._ddl_listeners.remove(listener)
+
+    def _notify_ddl(self, event: str, index_name: str) -> None:
+        for listener in list(self._ddl_listeners):
+            listener(event, index_name)
+
     def create_index(self, table_name: str, column_name: str) -> Index:
         """Create a secondary index on the TP engine (AP ignores indexes)."""
-        return self.catalog.create_index(table_name, column_name)
+        index = self.catalog.create_index(table_name, column_name)
+        self._notify_ddl("create_index", index.name)
+        return index
 
     def drop_index(self, index_name: str) -> None:
         self.catalog.drop_index(index_name)
+        self._notify_ddl("drop_index", index_name)
 
     # ------------------------------------------------------------------ query
     def parse(self, sql: str) -> ast.Query:

@@ -14,11 +14,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.locking import ReadWriteLock
 from repro.knowledge.vector_store import FlatVectorStore, SearchResult, VectorStore
+
+#: Signature of a knowledge-base write listener: ``(event, entry_id)`` where
+#: ``event`` is one of ``"add"``, ``"remove"``, ``"correct"``.
+WriteListener = Callable[[str, str], None]
 
 
 @dataclass
@@ -51,16 +57,36 @@ class RetrievalResult:
 
 
 class KnowledgeBase:
-    """Embedding-keyed store of historical queries and expert explanations."""
+    """Embedding-keyed store of historical queries and expert explanations.
+
+    Thread safety: all operations take a :class:`ReadWriteLock`, so any
+    number of concurrent retrievals proceed in parallel while expert writes
+    (add / remove / correct) get exclusive access.  Write listeners — used by
+    the serving layer to invalidate its explanation cache — fire *after* the
+    write lock is released, so a listener may safely read the knowledge base.
+    """
 
     def __init__(self, vector_store: VectorStore | None = None):
         self.vector_store = vector_store if vector_store is not None else FlatVectorStore()
         self._entries: dict[str, KnowledgeEntry] = {}
         self._insert_counter = 0
+        self._lock = ReadWriteLock()
+        self._write_listeners: list[WriteListener] = []
+
+    # -------------------------------------------------------------- listeners
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Register a callback fired after every successful write."""
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        self._write_listeners.remove(listener)
+
+    def _notify(self, event: str, entry_id: str) -> None:
+        for listener in list(self._write_listeners):
+            listener(event, entry_id)
 
     # ------------------------------------------------------------------ write
-    def add(self, entry: KnowledgeEntry) -> None:
-        """Insert a new entry (raises on duplicate ids)."""
+    def _add_unlocked(self, entry: KnowledgeEntry) -> None:
         if entry.entry_id in self._entries:
             raise KeyError(f"duplicate entry id {entry.entry_id!r}")
         self._insert_counter += 1
@@ -68,36 +94,58 @@ class KnowledgeBase:
         self._entries[entry.entry_id] = entry
         self.vector_store.add(entry.entry_id, entry.embedding)
 
+    def add(self, entry: KnowledgeEntry) -> None:
+        """Insert a new entry (raises on duplicate ids)."""
+        with self._lock.write_locked():
+            self._add_unlocked(entry)
+        self._notify("add", entry.entry_id)
+
     def add_many(self, entries: list[KnowledgeEntry]) -> None:
+        with self._lock.write_locked():
+            for entry in entries:
+                self._add_unlocked(entry)
         for entry in entries:
-            self.add(entry)
+            self._notify("add", entry.entry_id)
 
     def remove(self, entry_id: str) -> KnowledgeEntry:
         """Remove an entry (used by the stale-expiry curation policy)."""
-        if entry_id not in self._entries:
-            raise KeyError(f"unknown entry id {entry_id!r}")
-        self.vector_store.remove(entry_id)
-        return self._entries.pop(entry_id)
+        with self._lock.write_locked():
+            if entry_id not in self._entries:
+                raise KeyError(f"unknown entry id {entry_id!r}")
+            self.vector_store.remove(entry_id)
+            removed = self._entries.pop(entry_id)
+        self._notify("remove", entry_id)
+        return removed
 
     def correct(self, entry_id: str, corrected_explanation: str, factors: tuple[str, ...] | None = None) -> None:
         """Apply an expert correction to an existing entry (paper's feedback loop)."""
-        self.get(entry_id).apply_correction(corrected_explanation, factors)
+        with self._lock.write_locked():
+            try:
+                entry = self._entries[entry_id]
+            except KeyError:
+                raise KeyError(f"unknown entry id {entry_id!r}") from None
+            entry.apply_correction(corrected_explanation, factors)
+        self._notify("correct", entry_id)
 
     # ------------------------------------------------------------------- read
     def get(self, entry_id: str) -> KnowledgeEntry:
-        try:
-            return self._entries[entry_id]
-        except KeyError:
-            raise KeyError(f"unknown entry id {entry_id!r}") from None
+        with self._lock.read_locked():
+            try:
+                return self._entries[entry_id]
+            except KeyError:
+                raise KeyError(f"unknown entry id {entry_id!r}") from None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock.read_locked():
+            return len(self._entries)
 
     def __contains__(self, entry_id: str) -> bool:
-        return entry_id in self._entries
+        with self._lock.read_locked():
+            return entry_id in self._entries
 
     def entries(self) -> list[KnowledgeEntry]:
-        return list(self._entries.values())
+        with self._lock.read_locked():
+            return list(self._entries.values())
 
     # ---------------------------------------------------------------- retrieve
     def retrieve(self, embedding: np.ndarray, k: int = 2) -> RetrievalResult:
@@ -105,12 +153,15 @@ class KnowledgeBase:
 
         ``k=2`` is the paper's default retrieval depth.
         """
-        start = time.perf_counter()
-        raw: list[SearchResult] = self.vector_store.search(np.asarray(embedding, dtype=np.float64), k)
-        elapsed = time.perf_counter() - start
-        hits = [
-            RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
-            for rank, result in enumerate(raw, start=1)
-            if result.key in self._entries
-        ]
+        with self._lock.read_locked():
+            start = time.perf_counter()
+            raw: list[SearchResult] = self.vector_store.search(
+                np.asarray(embedding, dtype=np.float64), k
+            )
+            elapsed = time.perf_counter() - start
+            hits = [
+                RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
+                for rank, result in enumerate(raw, start=1)
+                if result.key in self._entries
+            ]
         return RetrievalResult(hits=hits, search_seconds=elapsed)

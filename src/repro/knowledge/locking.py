@@ -1,0 +1,75 @@
+"""A writer-preferring read–write lock for the knowledge base.
+
+The serving layer reads the knowledge base from many worker threads while
+experts occasionally write (new entries, corrections, expiries).  A plain
+mutex would serialize retrieval; this lock lets any number of readers
+proceed concurrently and blocks them only while a write is pending or in
+progress.  Writer preference keeps a steady stream of retrievals from
+starving feedback-loop writes.
+
+The lock is intentionally *not* reentrant — holders must not re-acquire it.
+Internal knowledge-base helpers therefore operate on already-locked state
+(`_get_unlocked` and friends) instead of calling back into public methods.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Many concurrent readers, one exclusive writer, writer preference."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ read
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # ----------------------------------------------------------------- write
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------- contexts
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

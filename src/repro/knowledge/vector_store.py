@@ -84,6 +84,7 @@ class VectorStore:
             self.add(key, vector)
 
     def __contains__(self, key: str) -> bool:
+        # Subclasses override with an O(1) dict lookup; this fallback scans.
         return key in self.keys()
 
     def keys(self) -> list[str]:
@@ -133,6 +134,9 @@ class FlatVectorStore(VectorStore):
 
     def keys(self) -> list[str]:
         return list(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index_of
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -190,6 +194,10 @@ class HNSWVectorStore(VectorStore):
     # ------------------------------------------------------------------ basic
     def keys(self) -> list[str]:
         return [node.key for node in self._nodes if not node.deleted]
+
+    def __contains__(self, key: str) -> bool:
+        node_id = self._id_of.get(key)
+        return node_id is not None and not self._nodes[node_id].deleted
 
     def __len__(self) -> int:
         return self._live_count
@@ -262,10 +270,21 @@ class HNSWVectorStore(VectorStore):
         if k <= 0 or self._entry_point is None or self._live_count == 0:
             return []
         query = _as_matrix(vector)
+        # Tombstoned nodes still occupy slots in the ef candidate list, so a
+        # store with D deletions would otherwise return fewer than k live
+        # hits.  Inflate ef by the tombstone count, and fall back to an
+        # exhaustive ef if the inflated pass still comes up short.
+        tombstones = len(self._nodes) - self._live_count
+        ef = max(self.ef_search, k) + tombstones
+        results = self._search_with_ef(query, k, ef)
+        if len(results) < min(k, self._live_count) and ef < len(self._nodes):
+            results = self._search_with_ef(query, k, len(self._nodes))
+        return results
+
+    def _search_with_ef(self, query: np.ndarray, k: int, ef: int) -> list[SearchResult]:
         current = self._entry_point
         for layer in range(self._nodes[current].max_level, 0, -1):
             current = self._greedy_search(query, current, layer)
-        ef = max(self.ef_search, k)
         candidates = self._search_layer(query, [current], 0, ef)
         candidates.sort()
         results: list[SearchResult] = []

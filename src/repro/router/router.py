@@ -21,6 +21,7 @@ import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -127,6 +128,30 @@ class SmartRouter:
         start = time.perf_counter()
         embedding = self.embed_pair(plan_pair)
         return embedding, time.perf_counter() - start
+
+    def embed_batch(self, plan_pairs: Sequence[PlanPair]) -> np.ndarray:
+        """Embed many plan pairs in one vectorized forward pass.
+
+        Returns a ``(len(plan_pairs), embedding_size)`` array whose rows match
+        per-pair :meth:`embed_pair` output.  This is the path the serving
+        layer's micro-batcher drives: featurization stays per-plan, but the
+        convolutions and the dense head each run as a single stacked matmul
+        over the whole batch instead of ``N`` independent passes.
+        """
+        tensor_pairs = [
+            (
+                PlanTensor.from_plan(pair.tp_plan, self.featurizer),
+                PlanTensor.from_plan(pair.ap_plan, self.featurizer),
+            )
+            for pair in plan_pairs
+        ]
+        return self.model.embed_pairs(tensor_pairs)
+
+    def timed_embed_batch(self, plan_pairs: Sequence[PlanPair]) -> tuple[np.ndarray, float]:
+        """Batched embeddings plus total wall-clock encoding time."""
+        start = time.perf_counter()
+        embeddings = self.embed_batch(plan_pairs)
+        return embeddings, time.perf_counter() - start
 
     # --------------------------------------------------------------- metadata
     @property

@@ -17,6 +17,7 @@ paper's "< 1 MB" footprint — and a single forward pass is far below 1 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -187,6 +188,58 @@ class TreeCNNClassifier:
     def embed_pair(self, tp_tensor: PlanTensor, ap_tensor: PlanTensor) -> np.ndarray:
         """The 16-dim plan-pair embedding (penultimate layer activations)."""
         return self.forward_pair(tp_tensor, ap_tensor).embedding.copy()
+
+    # ------------------------------------------------------------- batched
+    def _pooled_batch(self, tensors: Sequence[PlanTensor]) -> np.ndarray:
+        """Max-pooled conv outputs for many plans in one stacked forward pass.
+
+        All plans' node rows are concatenated into a single matrix (row 0 is
+        the shared zero padding node), child indices are shifted into the
+        global row space, and each convolution becomes one matmul over the
+        whole batch.  Pooling then reduces each plan's own row segment, so
+        the result is numerically the per-plan ``_forward_plan`` pooling.
+        """
+        parameters = self.parameters
+        counts = [tensor.node_count for tensor in tensors]
+        total = sum(counts)
+        node_features = np.zeros((total + 1, self.config.feature_size))
+        left = np.zeros(total, dtype=np.int64)
+        right = np.zeros(total, dtype=np.int64)
+        starts = np.zeros(len(tensors), dtype=np.int64)
+        cursor = 0
+        for position, tensor in enumerate(tensors):
+            count = counts[position]
+            starts[position] = cursor
+            node_features[1 + cursor : 1 + cursor + count] = tensor.features[1:]
+            # Local child index j >= 1 lives at global row cursor + j; the
+            # local padding index 0 maps to the shared global padding row 0.
+            left[cursor : cursor + count] = np.where(tensor.left > 0, tensor.left + cursor, 0)
+            right[cursor : cursor + count] = np.where(tensor.right > 0, tensor.right + cursor, 0)
+            cursor += count
+        triples1 = np.concatenate(
+            [node_features[1:], node_features[left], node_features[right]], axis=1
+        )
+        a1 = _relu(triples1 @ parameters["conv1_w"] + parameters["conv1_b"])
+        padded1 = np.zeros((total + 1, self.config.conv1_channels))
+        padded1[1:] = a1
+        triples2 = np.concatenate([a1, padded1[left], padded1[right]], axis=1)
+        a2 = _relu(triples2 @ parameters["conv2_w"] + parameters["conv2_b"])
+        return np.maximum.reduceat(a2, starts, axis=0)
+
+    def embed_pairs(self, pairs: Sequence[tuple[PlanTensor, PlanTensor]]) -> np.ndarray:
+        """Batched :meth:`embed_pair`: one ``(B, E)`` array, one forward pass.
+
+        The dense head runs as a single matmul over the stacked pair vectors;
+        results match per-pair :meth:`embed_pair` to float64 round-off.
+        """
+        if not pairs:
+            return np.zeros((0, self.config.embedding_size))
+        parameters = self.parameters
+        tp_pooled = self._pooled_batch([tp for tp, _ap in pairs])
+        ap_pooled = self._pooled_batch([ap for _tp, ap in pairs])
+        pair_vectors = np.concatenate([tp_pooled, ap_pooled], axis=1)
+        hidden = _relu(pair_vectors @ parameters["head_w"] + parameters["head_b"])
+        return _relu(hidden @ parameters["embed_w"] + parameters["embed_b"])
 
     # -------------------------------------------------------------- backward
     def loss_and_gradients(

@@ -1,0 +1,152 @@
+"""Micro-batching scheduler for router inference.
+
+Under concurrent load, many worker threads need plan-pair embeddings at
+the same time.  Instead of each running its own forward pass, they hand
+their plan pair to the :class:`MicroBatcher`, whose single scheduler
+thread coalesces whatever arrives within a short window (bounded by
+``max_batch_size`` and ``max_wait_seconds``) and drives
+:meth:`SmartRouter.embed_batch` — one stacked forward pass per batch
+instead of N independent ones.  Callers block on a future, so the API
+stays synchronous.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.service.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.htap.system import PlanPair
+    from repro.router.router import SmartRouter
+
+
+@dataclass
+class _PendingEncode:
+    plan_pair: "PlanPair"
+    future: "Future[np.ndarray]"
+
+
+class MicroBatcher:
+    """Coalesces concurrent embedding requests into batched forward passes."""
+
+    def __init__(
+        self,
+        router: "SmartRouter",
+        *,
+        max_batch_size: int = 16,
+        max_wait_seconds: float = 0.002,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        self.router = router
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.metrics = metrics or MetricsRegistry()
+        self._queue: "queue.SimpleQueue[_PendingEncode]" = queue.SimpleQueue()
+        self._closed = threading.Event()
+        # Serializes the closed-check-then-enqueue in submit() against
+        # close(), so no request can slip into the queue after the drain
+        # and leave its future unresolved forever.
+        self._submit_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, name="embed-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # ----------------------------------------------------------------- public
+    def submit(self, plan_pair: "PlanPair") -> "Future[np.ndarray]":
+        """Enqueue one plan pair; the future resolves to its embedding row."""
+        pending = _PendingEncode(plan_pair=plan_pair, future=Future())
+        with self._submit_lock:
+            if self._closed.is_set():
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.put(pending)
+        return pending.future
+
+    def encode(self, plan_pair: "PlanPair") -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(plan_pair).result()
+
+    def close(self) -> None:
+        """Stop the scheduler thread; fails any still-queued requests."""
+        with self._submit_lock:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+        self._thread.join(timeout=5.0)
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.future.set_exception(RuntimeError("MicroBatcher closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- scheduler
+    def _run(self) -> None:
+        while not self._closed.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait_seconds
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    # Coalescing window closed; drain whatever is already
+                    # queued without waiting any longer.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        batch.append(self._queue.get(timeout=remaining))
+                    except queue.Empty:
+                        break
+            self._flush(batch)
+
+    def _flush(self, batch: list[_PendingEncode]) -> None:
+        try:
+            embeddings = self.router.embed_batch([item.plan_pair for item in batch])
+        except Exception as exc:  # pragma: no cover - defensive
+            for item in batch:
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            return
+        self.metrics.counter("batcher.batches").increment()
+        self.metrics.counter("batcher.requests").increment(len(batch))
+        if len(batch) > 1:
+            self.metrics.counter("batcher.coalesced_requests").increment(len(batch) - 1)
+        self.metrics.histogram("batcher.batch_size").record(float(len(batch)))
+        for row, item in enumerate(batch):
+            if not item.future.cancelled():
+                item.future.set_result(embeddings[row])
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict[str, float]:
+        batches = self.metrics.counter("batcher.batches").value
+        requests = self.metrics.counter("batcher.requests").value
+        return {
+            "batches": batches,
+            "requests": requests,
+            "coalesced_requests": self.metrics.counter("batcher.coalesced_requests").value,
+            "mean_batch_size": requests / batches if batches else 0.0,
+        }

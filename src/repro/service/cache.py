@@ -1,0 +1,216 @@
+"""Multi-level caching for the explanation service.
+
+Two levels, both LRU with optional TTL and full hit/miss accounting:
+
+* **L1 — explanation cache**: ``request_cache_key -> Explanation``.  A hit
+  serves the finished answer without touching planner, router, knowledge
+  base, or LLM.  Invalidated by knowledge-base writes (retrieval grounding
+  changed) and by DDL (plans changed).
+* **L2 — plan cache**: ``sql_fingerprint -> (QueryExecution, embedding)``.
+  A hit skips parse → optimize → execute → encode and goes straight to
+  retrieval + generation.  Invalidated by DDL only; knowledge-base writes
+  do not change plans or embeddings.
+
+Both caches are safe to use from many worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUTTLCache:
+    """Thread-safe LRU cache with optional per-cache TTL.
+
+    ``ttl_seconds=None`` disables expiry; ``capacity`` bounds the entry
+    count, evicting least-recently-used entries.  The clock is injectable
+    so TTL behaviour is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, tuple[Any, float | None]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+        self._epoch = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            item = self._entries.get(key, _MISSING)
+            if item is _MISSING:
+                self._stats.misses += 1
+                return default
+            value, expires_at = item
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._stats.expirations += 1
+                self._stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, *, epoch: int | None = None) -> bool:
+        """Insert ``key``; returns whether the value was stored.
+
+        ``epoch`` guards against a check-compute-put race with invalidation:
+        pass the value of :attr:`epoch` read *before* computing ``value``,
+        and the put becomes a no-op if :meth:`clear` ran in between (the
+        computed value may reflect pre-invalidation state).
+        """
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return False
+            expires_at = None if self.ttl_seconds is None else self._clock() + self.ttl_seconds
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, expires_at)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+            return True
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self._stats.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Also advances :attr:`epoch`, so epoch-guarded :meth:`put` calls that
+        started computing before the clear will refuse to store stale data.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._stats.invalidations += dropped
+            self._epoch += 1
+            return dropped
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch; advanced by every :meth:`clear`."""
+        with self._lock:
+            return self._epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            item = self._entries.get(key, _MISSING)
+            if item is _MISSING:
+                return False
+            _value, expires_at = item
+            return expires_at is None or self._clock() < expires_at
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def stats_dict(self) -> dict[str, float]:
+        with self._lock:
+            payload = self._stats.as_dict()
+            payload["size"] = len(self._entries)
+            payload["capacity"] = self.capacity
+            return payload
+
+
+class ServiceCache:
+    """The explanation service's two cache levels plus their invalidation.
+
+    Wire :meth:`on_kb_write` into ``KnowledgeBase.add_write_listener`` and
+    :meth:`on_ddl` into ``HTAPSystem.add_ddl_listener``; the service does
+    this automatically.
+    """
+
+    def __init__(
+        self,
+        *,
+        explanation_capacity: int = 512,
+        plan_capacity: int = 2048,
+        explanation_ttl_seconds: float | None = None,
+        plan_ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.explanations = LRUTTLCache(
+            explanation_capacity, ttl_seconds=explanation_ttl_seconds, clock=clock
+        )
+        self.plans = LRUTTLCache(plan_capacity, ttl_seconds=plan_ttl_seconds, clock=clock)
+
+    # ------------------------------------------------------------ invalidation
+    def on_kb_write(self, event: str, entry_id: str) -> None:
+        """Knowledge changed: every cached explanation may cite stale entries.
+
+        Plans and embeddings are untouched — they do not depend on the KB.
+        """
+        self.explanations.clear()
+
+    def on_ddl(self, event: str, index_name: str) -> None:
+        """Schema changed: optimizer output (and hence embeddings and
+        explanations) may differ, so both levels are dropped."""
+        self.plans.clear()
+        self.explanations.clear()
+
+    def invalidate_all(self) -> None:
+        self.on_ddl("manual", "*")
+
+    # ---------------------------------------------------------------- export
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {
+            "explanations": self.explanations.stats_dict(),
+            "plans": self.plans.stats_dict(),
+        }

@@ -1,0 +1,141 @@
+"""Counters and latency histograms for the serving layer.
+
+Deliberately dependency-free: a :class:`MetricsRegistry` is a named bag of
+:class:`Counter` and :class:`LatencyHistogram` objects whose
+:meth:`~MetricsRegistry.snapshot` exports one plain dict — the contract the
+throughput benchmark and any external scraper consume.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Latency samples with percentile export.
+
+    The hot path (:meth:`record`) is O(1): samples land in an unsorted
+    ring buffer whose bounded size keeps memory flat under sustained
+    traffic (once full, a cursor overwrites the retained set in
+    round-robin order, keeping it spread across the stream without a
+    random source).  Sorting is deferred to the rare read side —
+    :meth:`percentile` / :meth:`summary` sort lazily and cache the sorted
+    view until the next write.
+    """
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._ring: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._sorted_cache: list[float] | None = None
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._ring) < self._max_samples:
+                self._ring.append(seconds)
+            else:
+                self._ring[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self._max_samples
+            self._sorted_cache = None
+
+    def _sorted_samples(self) -> list[float]:
+        # Caller holds the lock.
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._ring)
+        return self._sorted_cache
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given quantile (0 < fraction <= 1) in seconds."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        with self._lock:
+            samples = self._sorted_samples()
+            if not samples:
+                return 0.0
+            index = min(len(samples) - 1, int(round(fraction * len(samples))) - 1)
+            return samples[max(index, 0)]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            samples = self._sorted_samples()
+            if not samples:
+                return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+            size = len(samples)
+
+            def at(fraction: float) -> float:
+                return samples[max(0, min(size - 1, int(round(fraction * size)) - 1))]
+
+            return {
+                "count": self._count,
+                "mean": self._total / self._count,
+                "p50": at(0.50),
+                "p95": at(0.95),
+                "p99": at(0.99),
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, exported as one dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        payload: dict[str, object] = {name: counter.value for name, counter in counters.items()}
+        for name, histogram in histograms.items():
+            payload[name] = histogram.summary()
+        return payload

@@ -1,0 +1,349 @@
+"""ExplanationService — the concurrent serving front-end of the pipeline.
+
+Wraps ``HTAPSystem + SmartRouter + KnowledgeBase + LLMClient`` behind a
+production-shaped request path:
+
+* **admission control** — a bounded in-flight budget; when it is exhausted,
+  new requests are shed with a typed ``QUEUE_FULL`` rejection instead of an
+  exception or an unbounded queue;
+* **multi-level caching** — an L1 explanation cache (normalized-SQL +
+  user-notes key) served synchronously at admission, and an L2 plan /
+  embedding cache that lets repeated SQL skip parse → optimize → execute →
+  encode (see :mod:`repro.service.cache`); both are invalidated
+  automatically on DDL and knowledge-base writes via the listener hooks on
+  :class:`~repro.htap.system.HTAPSystem` and
+  :class:`~repro.knowledge.knowledge_base.KnowledgeBase`;
+* **micro-batched router inference** — cold requests encode through the
+  :class:`~repro.service.batching.MicroBatcher`, so concurrent encodes run
+  as one stacked forward pass;
+* **worker pool + deadlines** — a ``ThreadPoolExecutor`` drives the
+  remaining stages; a request whose latency budget expires while queued is
+  completed with ``DEADLINE_EXCEEDED`` rather than doing dead work;
+* **telemetry** — counters and p50/p95/p99 latency histograms exported as
+  one dict by :meth:`ExplanationService.metrics_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.explainer.pipeline import Explanation, RagExplainer, execution_result_text
+from repro.htap.catalog import Index
+from repro.htap.system import HTAPSystem, QueryExecution
+from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.llm.client import LLMClient
+from repro.llm.prompts import PromptBuilder
+from repro.router.router import SmartRouter
+from repro.service.api import (
+    ExplainRequest,
+    ExplainResult,
+    RequestStatus,
+    ServiceErrorCode,
+)
+from repro.service.batching import MicroBatcher
+from repro.service.cache import ServiceCache
+from repro.service.fingerprint import request_cache_key, sql_fingerprint
+from repro.service.metrics import MetricsRegistry
+
+
+def _completed(result: ExplainResult) -> "Future[ExplainResult]":
+    future: "Future[ExplainResult]" = Future()
+    future.set_result(result)
+    return future
+
+
+class ExplanationService:
+    """Concurrent, cached, batched serving layer over :class:`RagExplainer`."""
+
+    def __init__(
+        self,
+        system: HTAPSystem,
+        router: SmartRouter,
+        knowledge_base: KnowledgeBase,
+        llm: LLMClient,
+        *,
+        top_k: int = 2,
+        prompt_builder: PromptBuilder | None = None,
+        max_workers: int = 4,
+        max_in_flight: int = 64,
+        default_deadline_seconds: float | None = None,
+        explanation_cache_capacity: int = 512,
+        plan_cache_capacity: int = 2048,
+        explanation_ttl_seconds: float | None = None,
+        plan_ttl_seconds: float | None = None,
+        batch_max_size: int = 16,
+        batch_max_wait_seconds: float = 0.002,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.system = system
+        self.router = router
+        self.knowledge_base = knowledge_base
+        self.llm = llm
+        self.explainer = RagExplainer(
+            system, router, knowledge_base, llm, top_k=top_k, prompt_builder=prompt_builder
+        )
+        self.default_deadline_seconds = default_deadline_seconds
+        self.max_in_flight = max_in_flight
+        self.metrics = MetricsRegistry()
+        self.cache = ServiceCache(
+            explanation_capacity=explanation_cache_capacity,
+            plan_capacity=plan_cache_capacity,
+            explanation_ttl_seconds=explanation_ttl_seconds,
+            plan_ttl_seconds=plan_ttl_seconds,
+        )
+        self.batcher = MicroBatcher(
+            router,
+            max_batch_size=batch_max_size,
+            max_wait_seconds=batch_max_wait_seconds,
+            metrics=self.metrics,
+        )
+        self._executor = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="explain")
+        self._in_flight = 0
+        self._admission_lock = threading.Lock()
+        self._closed = False
+        # Stale-data hooks: any DDL or knowledge write invalidates caches.
+        knowledge_base.add_write_listener(self._on_kb_write)
+        system.add_ddl_listener(self._on_ddl)
+
+    # ------------------------------------------------------------- invalidation
+    def _on_kb_write(self, event: str, entry_id: str) -> None:
+        self.metrics.counter("invalidations.kb_write").increment()
+        self.cache.on_kb_write(event, entry_id)
+
+    def _on_ddl(self, event: str, index_name: str) -> None:
+        self.metrics.counter("invalidations.ddl").increment()
+        self.cache.on_ddl(event, index_name)
+
+    # -------------------------------------------------------------------- DDL
+    def create_index(self, table_name: str, column_name: str) -> Index:
+        """DDL passthrough; the system's listener hook invalidates caches."""
+        return self.system.create_index(table_name, column_name)
+
+    def drop_index(self, index_name: str) -> None:
+        self.system.drop_index(index_name)
+
+    # ----------------------------------------------------------------- public
+    def submit(
+        self,
+        sql: str,
+        *,
+        user_notes: str | None = None,
+        deadline_seconds: float | None = None,
+    ) -> "Future[ExplainResult]":
+        """Admit one request; returns a future that never raises.
+
+        The L1 explanation cache is consulted synchronously, so warm
+        requests cost a dict lookup and never occupy a worker or a queue
+        slot.  When the in-flight budget is exhausted the request is shed
+        with a ``QUEUE_FULL`` rejection.
+        """
+        request = ExplainRequest(
+            sql=sql,
+            user_notes=user_notes,
+            deadline_seconds=(
+                self.default_deadline_seconds if deadline_seconds is None else deadline_seconds
+            ),
+        )
+        self.metrics.counter("requests.submitted").increment()
+        if self._closed:
+            self.metrics.counter("requests.rejected_closed").increment()
+            return _completed(
+                ExplainResult.rejection(
+                    request.request_id, ServiceErrorCode.SERVICE_CLOSED, "service is shut down"
+                )
+            )
+        cache_key = request_cache_key(sql, user_notes, self.explainer.top_k)
+        cached = self.cache.explanations.get(cache_key)
+        if cached is not None:
+            self.metrics.counter("requests.ok").increment()
+            total = time.perf_counter() - request.submitted_at
+            self.metrics.histogram("latency.warm_seconds").record(total)
+            return _completed(
+                ExplainResult(
+                    request_id=request.request_id,
+                    status=RequestStatus.OK,
+                    explanation=cached,
+                    cache_hit=True,
+                    total_seconds=total,
+                )
+            )
+        with self._admission_lock:
+            if self._in_flight >= self.max_in_flight:
+                self.metrics.counter("requests.shed").increment()
+                return _completed(
+                    ExplainResult.rejection(
+                        request.request_id,
+                        ServiceErrorCode.QUEUE_FULL,
+                        f"in-flight limit of {self.max_in_flight} reached",
+                    )
+                )
+            self._in_flight += 1
+        try:
+            return self._executor.submit(self._process_guarded, request, cache_key)
+        except RuntimeError:
+            # shutdown() raced us between the _closed check and the executor
+            # submit; release the admission slot and reject like any other
+            # post-close request instead of letting the exception escape.
+            with self._admission_lock:
+                self._in_flight -= 1
+            self.metrics.counter("requests.rejected_closed").increment()
+            return _completed(
+                ExplainResult.rejection(
+                    request.request_id, ServiceErrorCode.SERVICE_CLOSED, "service is shut down"
+                )
+            )
+
+    def explain(
+        self,
+        sql: str,
+        *,
+        user_notes: str | None = None,
+        deadline_seconds: float | None = None,
+    ) -> ExplainResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(sql, user_notes=user_notes, deadline_seconds=deadline_seconds).result()
+
+    def explain_many(self, sqls: Sequence[str]) -> list[ExplainResult]:
+        """Submit a batch of SQL strings and gather all results."""
+        futures = [self.submit(sql) for sql in sqls]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ worker
+    def _process_guarded(self, request: ExplainRequest, cache_key: str) -> ExplainResult:
+        try:
+            result = self._process(request, cache_key)
+        except Exception as exc:  # noqa: BLE001 - typed result, never raise
+            self.metrics.counter("requests.failed").increment()
+            result = ExplainResult.failure(
+                request.request_id,
+                ServiceErrorCode.INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}",
+                total_seconds=time.perf_counter() - request.submitted_at,
+            )
+        finally:
+            with self._admission_lock:
+                self._in_flight -= 1
+        return result
+
+    def _process(self, request: ExplainRequest, cache_key: str) -> ExplainResult:
+        started = time.perf_counter()
+        queue_seconds = started - request.submitted_at
+        self.metrics.histogram("latency.queue_seconds").record(queue_seconds)
+        if request.expired(started):
+            self.metrics.counter("requests.deadline_exceeded").increment()
+            return ExplainResult.failure(
+                request.request_id,
+                ServiceErrorCode.DEADLINE_EXCEEDED,
+                f"deadline of {request.deadline_seconds:.3f}s expired after "
+                f"{queue_seconds:.3f}s in queue",
+                queue_seconds=queue_seconds,
+                total_seconds=queue_seconds,
+            )
+        # A twin request may have populated the explanation cache while this
+        # one waited for a worker.
+        cached = self.cache.explanations.get(cache_key)
+        if cached is not None:
+            self.metrics.counter("requests.ok").increment()
+            total = time.perf_counter() - request.submitted_at
+            self.metrics.histogram("latency.warm_seconds").record(total)
+            return ExplainResult(
+                request_id=request.request_id,
+                status=RequestStatus.OK,
+                explanation=cached,
+                cache_hit=True,
+                queue_seconds=queue_seconds,
+                total_seconds=total,
+            )
+
+        plan_key = sql_fingerprint(request.sql)
+        # Epochs read *before* computing guard the puts below: if DDL or a KB
+        # write invalidates a cache while this request is mid-flight, the
+        # stale result must not be re-inserted after the clear.
+        plan_epoch = self.cache.plans.epoch
+        explanation_epoch = self.cache.explanations.epoch
+        plan_entry = self.cache.plans.get(plan_key)
+        encode_seconds = 0.0
+        if plan_entry is None:
+            execution: QueryExecution = self.system.run_both(request.sql)
+            encode_start = time.perf_counter()
+            embedding = self.batcher.encode(execution.plan_pair)
+            encode_seconds = time.perf_counter() - encode_start
+            self.cache.plans.put(plan_key, (execution, embedding), epoch=plan_epoch)
+            plan_cache_hit = False
+        else:
+            execution, embedding = plan_entry
+            plan_cache_hit = True
+
+        if request.expired():
+            self.metrics.counter("requests.deadline_exceeded").increment()
+            elapsed = time.perf_counter() - request.submitted_at
+            return ExplainResult.failure(
+                request.request_id,
+                ServiceErrorCode.DEADLINE_EXCEEDED,
+                f"deadline of {request.deadline_seconds:.3f}s expired before generation",
+                queue_seconds=queue_seconds,
+                total_seconds=elapsed,
+            )
+
+        retrieval = self.explainer.retrieve_stage(embedding)
+        explanation: Explanation = self.explainer.generate_stage(
+            execution.plan_pair,
+            embedding,
+            retrieval,
+            encode_seconds=encode_seconds,
+            execution_result=execution_result_text(execution),
+            faster_engine=execution.faster_engine,
+            user_notes=request.user_notes,
+        )
+        self.cache.explanations.put(cache_key, explanation, epoch=explanation_epoch)
+        self.metrics.counter("requests.ok").increment()
+        total = time.perf_counter() - request.submitted_at
+        self.metrics.histogram("latency.cold_seconds").record(total)
+        return ExplainResult(
+            request_id=request.request_id,
+            status=RequestStatus.OK,
+            explanation=explanation,
+            plan_cache_hit=plan_cache_hit,
+            queue_seconds=queue_seconds,
+            total_seconds=total,
+        )
+
+    # --------------------------------------------------------------- telemetry
+    def metrics_snapshot(self) -> dict[str, object]:
+        """One dict with counters, latency summaries, cache and batch stats."""
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.cache.snapshot()
+        payload["batching"] = self.batcher.stats()
+        with self._admission_lock:
+            payload["in_flight"] = self._in_flight
+        payload["max_in_flight"] = self.max_in_flight
+        return payload
+
+    # ---------------------------------------------------------------- lifecycle
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and tear down the pool and the batcher."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+        self.batcher.close()
+        # Unhook the invalidation listeners so a discarded service does not
+        # keep receiving callbacks from long-lived system objects.
+        try:
+            self.knowledge_base.remove_write_listener(self._on_kb_write)
+        except ValueError:
+            pass
+        try:
+            self.system.remove_ddl_listener(self._on_ddl)
+        except ValueError:
+            pass
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -137,6 +137,55 @@ def test_hnsw_parameter_validation():
         HNSWVectorStore(M=1)
 
 
+def test_hnsw_delete_then_search_keeps_full_recall():
+    """Tombstones must not shrink the result list below k live hits."""
+    hnsw = HNSWVectorStore(seed=4, ef_search=8)
+    vectors = _random_vectors(60, seed=7)
+    for index, vector in enumerate(vectors):
+        hnsw.add(f"v{index}", vector)
+    # Delete half the store: the tombstones would previously crowd out the
+    # ef candidate list and search(k) could return fewer than k live hits.
+    for index in range(0, 60, 2):
+        hnsw.remove(f"v{index}")
+    assert len(hnsw) == 30
+    for query in _random_vectors(10, seed=8):
+        results = hnsw.search(query, k=10)
+        keys = [result.key for result in results]
+        assert len(keys) == 10
+        assert len(set(keys)) == 10
+        assert all(int(key[1:]) % 2 == 1 for key in keys)  # only live entries
+
+
+def test_hnsw_search_caps_at_live_count():
+    hnsw = HNSWVectorStore(seed=4)
+    for index, vector in enumerate(_random_vectors(8, seed=2)):
+        hnsw.add(f"v{index}", vector)
+    for index in range(5):
+        hnsw.remove(f"v{index}")
+    results = hnsw.search(np.zeros(16), k=8)
+    assert len(results) == 3  # everything still alive
+
+
+def test_contains_is_constant_time_dispatch():
+    """__contains__ must hit the key dicts, not materialize keys()."""
+    flat = FlatVectorStore()
+    hnsw = HNSWVectorStore(seed=1)
+    for index, vector in enumerate(_random_vectors(10, seed=6)):
+        flat.add(f"v{index}", vector)
+        hnsw.add(f"v{index}", vector)
+
+    def forbidden(self):  # any keys() call inside `in` is the old slow path
+        raise AssertionError("__contains__ must not call keys()")
+
+    flat.keys = forbidden.__get__(flat)
+    hnsw.keys = forbidden.__get__(hnsw)
+    assert "v3" in flat and "missing" not in flat
+    assert "v3" in hnsw and "missing" not in hnsw
+    del flat.keys, hnsw.keys
+    hnsw.remove("v3")
+    assert "v3" not in hnsw  # tombstoned keys are not members
+
+
 def test_add_many_convenience():
     store = FlatVectorStore()
     store.add_many((f"v{i}", vector) for i, vector in enumerate(_random_vectors(5)))

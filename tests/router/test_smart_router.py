@@ -69,3 +69,26 @@ def test_untrained_router_still_embeds(system, labeled_workload):
     router = SmartRouter(system.catalog)
     embedding = router.embed_pair(labeled_workload[0].execution.plan_pair)
     assert embedding.shape == (16,)
+
+
+def test_embed_batch_matches_embed_pair(trained_router, labeled_workload):
+    """The vectorized path must reproduce per-pair embeddings (atol 1e-9)."""
+    pairs = [labeled.execution.plan_pair for labeled in labeled_workload[:20]]
+    batched = trained_router.embed_batch(pairs)
+    singles = np.stack([trained_router.embed_pair(pair) for pair in pairs])
+    assert batched.shape == (20, trained_router.embedding_size)
+    assert np.allclose(batched, singles, atol=1e-9)
+
+
+def test_embed_batch_empty_and_single(trained_router, labeled_workload):
+    assert trained_router.embed_batch([]).shape == (0, trained_router.embedding_size)
+    pair = labeled_workload[0].execution.plan_pair
+    single = trained_router.embed_batch([pair])
+    assert np.allclose(single[0], trained_router.embed_pair(pair), atol=1e-9)
+
+
+def test_timed_embed_batch_reports_duration(trained_router, labeled_workload):
+    pairs = [labeled.execution.plan_pair for labeled in labeled_workload[:4]]
+    embeddings, seconds = trained_router.timed_embed_batch(pairs)
+    assert embeddings.shape[0] == 4
+    assert seconds > 0.0

@@ -1,0 +1,98 @@
+"""Tests for the micro-batcher and the metrics registry."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.service.batching import MicroBatcher
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+
+
+# --------------------------------------------------------------- batching
+def test_batcher_single_request(trained_router, labeled_workload):
+    pair = labeled_workload[0].execution.plan_pair
+    with MicroBatcher(trained_router) as batcher:
+        embedding = batcher.encode(pair)
+    assert np.allclose(embedding, trained_router.embed_pair(pair), atol=1e-9)
+
+
+def test_batcher_concurrent_requests_match_per_pair(trained_router, labeled_workload):
+    pairs = [labeled.execution.plan_pair for labeled in labeled_workload[:16]]
+    with MicroBatcher(trained_router, max_batch_size=8, max_wait_seconds=0.01) as batcher:
+        barrier = threading.Barrier(len(pairs))
+        results: list[np.ndarray | None] = [None] * len(pairs)
+
+        def worker(position: int) -> None:
+            barrier.wait()
+            results[position] = batcher.encode(pairs[position])
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(pairs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = batcher.stats()
+    for position, pair in enumerate(pairs):
+        assert np.allclose(results[position], trained_router.embed_pair(pair), atol=1e-9)
+    assert stats["requests"] == 16
+    # Concurrent arrivals must actually coalesce into multi-pair batches.
+    assert stats["batches"] < 16
+    assert stats["mean_batch_size"] > 1.0
+
+
+def test_batcher_close_rejects_new_work(trained_router, labeled_workload):
+    batcher = MicroBatcher(trained_router)
+    batcher.close()
+    try:
+        batcher.submit(labeled_workload[0].execution.plan_pair)
+    except RuntimeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("submit after close must raise")
+
+
+# ---------------------------------------------------------------- metrics
+def test_counter_and_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests").increment()
+    registry.counter("requests").increment(4)
+    assert registry.counter("requests").value == 5
+    assert registry.snapshot()["requests"] == 5
+
+
+def test_histogram_percentiles():
+    histogram = LatencyHistogram()
+    for value in range(1, 101):  # 0.01 .. 1.00
+        histogram.record(value / 100.0)
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["p50"] == 0.50
+    assert summary["p95"] == 0.95
+    assert summary["p99"] == 0.99
+    assert summary["max"] == 1.0
+    assert abs(summary["mean"] - 0.505) < 1e-9
+
+
+def test_histogram_bounded_memory():
+    histogram = LatencyHistogram(max_samples=64)
+    for value in range(1000):
+        histogram.record(float(value))
+    assert histogram.count == 1000
+    summary = histogram.summary()
+    assert summary["count"] == 1000
+    assert summary["max"] == 999.0
+    # Retained window is the most recent overwrites; percentile still sane.
+    assert 0.0 <= summary["p50"] <= 999.0
+
+
+def test_empty_histogram_summary():
+    assert LatencyHistogram().summary() == {
+        "count": 0,
+        "mean": 0.0,
+        "p50": 0.0,
+        "p95": 0.0,
+        "p99": 0.0,
+        "max": 0.0,
+    }
