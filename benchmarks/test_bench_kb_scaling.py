@@ -13,14 +13,19 @@ from repro.bench.reporting import format_table
 def test_bench_kb_scaling(benchmark, harness):
     rows = run_once(benchmark, harness.kb_scaling)
     print()
-    print(format_table(rows, title="E11  KB search latency vs size (top-2 retrieval, ms per query)"))
+    print(
+        format_table(
+            [row.as_dict() for row in rows],
+            title="E11  KB search latency vs size (top-2 retrieval, ms per query)",
+        )
+    )
 
     by_store = {}
     for row in rows:
-        by_store.setdefault(row["store"], {})[row["kb_size"]] = row["search_ms"]
+        by_store.setdefault(row.store, {})[row.kb_size] = row.search_ms
     # At the paper's 20 entries, either store answers in well under a millisecond.
-    assert by_store["flat"][20.0] < 1.0
-    assert by_store["hnsw"][20.0] < 2.0
+    assert by_store["flat"][20] < 1.0
+    assert by_store["hnsw"][20] < 2.0
     largest = max(by_store["flat"])
     # Even at the largest size, retrieval stays far below the ~10 s LLM
     # generation time, so it never dominates the response time.

@@ -1,6 +1,6 @@
 """Setup shim for environments without the `wheel` package.
 
-All project metadata lives in ``pyproject.toml``; this file only enables the
+All project metadata lives in ``setup.cfg``; this file only enables the
 legacy ``pip install -e .`` code path (setup.py develop), which does not need
 ``bdist_wheel``.
 """

@@ -1,12 +1,79 @@
-"""Experiment harness and reporting helpers shared by the benchmark suite."""
+"""Experiment harness, strategy runner, and reporting for the bench suite.
 
+Layering note: :mod:`repro.bench.strategies` and :mod:`repro.bench.cli`
+import :mod:`repro.service`, while the serving layer's metrics import
+:mod:`repro.bench.stats`; those two modules are therefore deliberately not
+re-exported here — import them directly (``from repro.bench.strategies
+import build_suites``) so the dependency graph stays acyclic.
+"""
+
+from repro.bench.stats import percentile, percentile_index, summarize
 from repro.bench.reporting import format_table, format_percent
-from repro.bench.harness import ExperimentHarness, get_default_harness, EXAMPLE1_SQL
+from repro.bench.harness import (
+    ExperimentHarness,
+    KBScalingRow,
+    get_default_harness,
+    EXAMPLE1_SQL,
+)
+from repro.bench.runner import (
+    ExperimentConfig,
+    ExperimentContext,
+    ExperimentStrategy,
+    RunResult,
+    StrategyReport,
+    StrategyRunner,
+)
+from repro.bench.export import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    bench_filename,
+    bench_path,
+    load_bench,
+    report_to_payload,
+    validate_payload,
+    write_bench,
+)
+from repro.bench.compare import (
+    ComparisonReport,
+    Direction,
+    MetricVerdict,
+    Tolerance,
+    Verdict,
+    compare_directories,
+    compare_payloads,
+    tolerance_for,
+)
 
 __all__ = [
+    "percentile",
+    "percentile_index",
+    "summarize",
     "format_table",
     "format_percent",
     "ExperimentHarness",
+    "KBScalingRow",
     "get_default_harness",
     "EXAMPLE1_SQL",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "ExperimentStrategy",
+    "RunResult",
+    "StrategyReport",
+    "StrategyRunner",
+    "SCHEMA_VERSION",
+    "BenchSchemaError",
+    "bench_filename",
+    "bench_path",
+    "load_bench",
+    "report_to_payload",
+    "validate_payload",
+    "write_bench",
+    "ComparisonReport",
+    "Direction",
+    "MetricVerdict",
+    "Tolerance",
+    "Verdict",
+    "compare_directories",
+    "compare_payloads",
+    "tolerance_for",
 ]

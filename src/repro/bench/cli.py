@@ -1,0 +1,148 @@
+"""``repro-bench`` — run the bench suites and gate on the committed baselines.
+
+Two subcommands:
+
+``repro-bench run``
+    Build the experiment harness once, run every (or the selected) suite
+    through :class:`~repro.bench.runner.StrategyRunner`, and write one
+    ``BENCH_<suite>.json`` per suite into ``--out-dir``.
+
+``repro-bench compare``
+    Diff the freshly written files in ``--current-dir`` against the
+    committed baselines in ``--baseline-dir`` with the per-metric
+    tolerances from :mod:`repro.bench.compare`.  Exit 0 when every gated
+    metric holds, 1 on regression, 2 when a baseline is missing or a file
+    does not parse — this is what the CI benchmark job gates on.
+
+Runs without installation too: ``PYTHONPATH=src python -m repro.bench.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.bench.compare import DEFAULT_TOLERANCES, compare_directories
+from repro.bench.export import write_bench
+from repro.bench.reporting import format_table
+from repro.bench.runner import StrategyRunner
+from repro.bench.strategies import (
+    PROFILES,
+    build_harness,
+    build_suites,
+    config_overrides,
+    harness_config,
+)
+
+DEFAULT_SUITES = tuple(build_suites().keys())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Machine-readable benchmark runner and regression gate.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run suites and write BENCH_<suite>.json files")
+    run.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        choices=DEFAULT_SUITES,
+        help="suite to run (repeatable; default: all)",
+    )
+    run.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="quick",
+        help="harness scale: 'quick' (CI / committed baselines) or 'paper'",
+    )
+    run.add_argument("--out-dir", default=".", help="where BENCH_*.json files are written")
+    run.add_argument("--runs", type=int, default=None, help="override measured runs per suite")
+    run.add_argument("--warmups", type=int, default=None, help="override warm-up runs per suite")
+
+    compare = commands.add_parser(
+        "compare", help="diff a run against committed baselines; nonzero exit on regression"
+    )
+    compare.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        choices=DEFAULT_SUITES,
+        help="suite to compare (repeatable; default: all)",
+    )
+    compare.add_argument("--baseline-dir", default=".", help="directory with committed BENCH_*.json")
+    compare.add_argument("--current-dir", default=".", help="directory with the fresh run's BENCH_*.json")
+    compare.add_argument(
+        "--tolerance-scale",
+        type=float,
+        default=1.0,
+        help="multiply every tolerance (e.g. 2.0 doubles the allowed slack)",
+    )
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    suites = build_suites(tuple(args.suites) if args.suites else None)
+    print(f"building harness (profile={args.profile}) ...", flush=True)
+    build_start = time.perf_counter()
+    harness = build_harness(args.profile)
+    print(f"harness ready in {time.perf_counter() - build_start:.1f}s", flush=True)
+    runner = StrategyRunner(harness)
+    setup = harness_config(harness)
+    summary_rows = []
+    for name, strategy in suites.items():
+        config = config_overrides(args.runs, args.warmups, strategy.default_config())
+        print(
+            f"running suite '{name}' ({config.runs} runs, {config.warmup_runs} warm-ups) ...",
+            flush=True,
+        )
+        report = runner.run(strategy, config)
+        path = write_bench(report, args.out_dir, profile=args.profile, harness_config=setup)
+        summary_rows.append(
+            {
+                "suite": name,
+                "file": str(path),
+                "metrics": len(report.metrics),
+                "ops/s": round(report.ops_per_second, 1),
+                "p50 run (s)": round(report.duration_seconds["p50"], 3),
+            }
+        )
+    print()
+    print(format_table(summary_rows, title="repro-bench run"))
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    suites = tuple(args.suites) if args.suites else DEFAULT_SUITES
+    report = compare_directories(
+        args.current_dir,
+        args.baseline_dir,
+        suites,
+        tolerances=DEFAULT_TOLERANCES,
+        scale=args.tolerance_scale,
+    )
+    print(format_table([verdict.as_row() for verdict in report.verdicts], title="repro-bench compare"))
+    print()
+    if report.errors:
+        print(f"FAIL: {len(report.errors)} baseline/schema problem(s)")
+    if report.regressions:
+        print(f"FAIL: {len(report.regressions)} metric regression(s)")
+    if report.exit_code == 0:
+        gated = sum(1 for verdict in report.verdicts if verdict.verdict.value == "pass")
+        print(f"OK: {gated} gated metrics within tolerance")
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    return _compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

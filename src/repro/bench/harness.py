@@ -17,10 +17,10 @@ from typing import Any
 
 from repro.baselines.dbgpt import DBGPTExplainer
 from repro.baselines.norag import NoRagExplainer
+from repro.bench.stats import percentile
 from repro.explainer.evaluation import AccuracyReport, ExpertPanel, Grade
 from repro.explainer.pipeline import Explanation, RagExplainer, entries_from_labeled
 from repro.explainer.timing import LatencyProfile
-from repro.htap.engines.base import EngineKind
 from repro.htap.plan.serialize import plan_to_dict
 from repro.htap.system import HTAPSystem, QueryExecution
 from repro.knowledge.curation import expire_stale_entries, select_representative_queries
@@ -45,6 +45,24 @@ EXAMPLE1_SQL = (
     "AND o_custkey = c_custkey "
     "AND n_nationkey = c_nationkey;"
 )
+
+
+@dataclass(frozen=True)
+class KBScalingRow:
+    """One (store, size) point on the KB-scaling curve — properly typed.
+
+    Previously this was a ``dict[str, float]`` with the store name smuggled
+    in as a string behind a ``# type: ignore``; the exporter needs a shape
+    it can split into numeric metrics and labels without guessing.
+    """
+
+    kb_size: int
+    store: str
+    search_ms: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """Row form for table rendering (column order matches the figure)."""
+        return {"kb_size": self.kb_size, "store": self.store, "search_ms": self.search_ms}
 
 
 @dataclass
@@ -312,17 +330,19 @@ class ExperimentHarness:
             "model_size_bytes": float(self.router.model_size_bytes()),
             "parameter_count": float(self.router.parameter_count()),
             "mean_inference_ms": statistics.mean(timings) * 1000.0,
-            "p95_inference_ms": sorted(timings)[int(0.95 * (len(timings) - 1))] * 1000.0,
+            # Shared nearest-rank convention (repro.bench.stats) so this p95
+            # agrees with the serving histograms and the BENCH_*.json export.
+            "p95_inference_ms": percentile(timings, 0.95) * 1000.0,
         }
 
     # --------------------------------------------------------- E11: KB scaling
-    def kb_scaling(self, sizes: tuple[int, ...] = (20, 200, 1000, 5000), k: int = 2) -> list[dict[str, float]]:
+    def kb_scaling(self, sizes: tuple[int, ...] = (20, 200, 1000, 5000), k: int = 2) -> list[KBScalingRow]:
         """Search latency as the knowledge base grows, flat vs HNSW."""
         rng_entries = entries_from_labeled(self.dataset.knowledge_base, self.router, self.expert)
         base_vectors = [entry.embedding for entry in rng_entries]
         import numpy as np
 
-        rows: list[dict[str, float]] = []
+        rows: list[KBScalingRow] = []
         rng = np.random.default_rng(3)
         query_vectors = [
             self.router.embed_pair(labeled.execution.plan_pair) for labeled in self.dataset.test[:20]
@@ -342,13 +362,7 @@ class ExperimentHarness:
                 for query in query_vectors:
                     store.search(query, k)
                 elapsed = (time.perf_counter() - start) / len(query_vectors)
-                rows.append(
-                    {
-                        "kb_size": float(size),
-                        "store": store_name,  # type: ignore[dict-item]
-                        "search_ms": elapsed * 1000.0,
-                    }
-                )
+                rows.append(KBScalingRow(kb_size=size, store=store_name, search_ms=elapsed * 1000.0))
         return rows
 
     # -------------------------------------------------------- E12: KB curation

@@ -1,0 +1,301 @@
+"""Concrete :class:`~repro.bench.runner.ExperimentStrategy` suites.
+
+Each strategy wraps an existing experiment — the harness methods the
+pytest benchmarks already exercise, plus the serving layer — and reshapes
+its observations into the runner's metric model so ``repro-bench run`` can
+export one ``BENCH_<suite>.json`` per suite:
+
+* ``latency`` — per-stage explanation latency over a test-set sample
+  (encode / search / LLM thinking / LLM generation / total);
+* ``router`` — tree-CNN routing accuracy, inference latency series, and
+  model footprint;
+* ``kb_scaling`` — flat vs HNSW search latency across KB sizes (the
+  scenario axis from the TPC-H exemplar: one workload shape per store ×
+  size point);
+* ``service_throughput`` — cold/concurrent/warm phases against a live
+  :class:`~repro.service.server.ExplanationService`, with cache hit rates
+  and batching stats pulled from :mod:`repro.service.metrics` snapshots.
+
+This module imports :mod:`repro.service` and is therefore *not* re-exported
+from ``repro.bench.__init__`` — the serving layer itself depends on
+:mod:`repro.bench.stats`, and keeping strategies out of the package
+``__init__`` keeps that dependency acyclic.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Any
+
+from repro.bench.harness import ExperimentHarness
+from repro.bench.runner import (
+    ExperimentConfig,
+    ExperimentContext,
+    ExperimentStrategy,
+    RunResult,
+)
+from repro.service.server import ExplanationService
+
+#: Harness scales the CLI can build.  ``quick`` mirrors the reduced harness
+#: the unit tests use (same code paths, ~seconds to build) and is what CI
+#: and the committed baselines run; ``paper`` is the full experimental
+#: scale of the pytest benchmark suite.
+PROFILES: dict[str, dict[str, Any]] = {
+    "quick": {
+        "knowledge_base_size": 12,
+        "test_size": 40,
+        "router_training_size": 60,
+        "router_epochs": 8,
+    },
+    "paper": {},
+}
+
+
+def build_harness(profile: str) -> ExperimentHarness:
+    try:
+        overrides = PROFILES[profile]
+    except KeyError:
+        raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}") from None
+    return ExperimentHarness(**overrides)
+
+
+def harness_config(harness: ExperimentHarness) -> dict[str, Any]:
+    """The init parameters that define an experimental setup (for export)."""
+    return {
+        "scale_factor": harness.scale_factor,
+        "knowledge_base_size": harness.knowledge_base_size,
+        "test_size": harness.test_size,
+        "router_training_size": harness.router_training_size,
+        "router_epochs": harness.router_epochs,
+        "top_k": harness.top_k,
+        "seed": harness.seed,
+    }
+
+
+class LatencyBreakdownStrategy(ExperimentStrategy):
+    """E7 as a suite: per-stage latency series over a test-set sample."""
+
+    name = "latency"
+
+    def __init__(self, sample_size: int = 24):
+        self.sample_size = sample_size
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=3, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sample = context.harness.dataset.test[: self.sample_size]
+        if not sample:
+            raise ValueError("test set is empty; cannot measure latency")
+        context.state["sample"] = sample
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        harness = context.harness
+        profiles = [
+            harness.explainer.explain_execution(labeled.execution).latency
+            for labeled in context.state["sample"]
+        ]
+        return RunResult(
+            metrics={
+                "encode_seconds": [profile.encode_seconds for profile in profiles],
+                "search_seconds": [profile.search_seconds for profile in profiles],
+                "llm_thinking_seconds": [profile.llm_thinking_seconds for profile in profiles],
+                "llm_generation_seconds": [profile.llm_generation_seconds for profile in profiles],
+                "total_seconds": [profile.total_seconds for profile in profiles],
+            },
+            counters={"explanations": len(profiles)},
+            operations=len(profiles),
+        )
+
+
+class RouterInferenceStrategy(ExperimentStrategy):
+    """E10 as a suite: routing accuracy plus an inference-latency series."""
+
+    name = "router"
+
+    def __init__(self, sample_size: int = 40):
+        self.sample_size = sample_size
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=3, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sample = context.harness.dataset.test[: self.sample_size]
+        if not sample:
+            raise ValueError("test set is empty; cannot benchmark the router")
+        context.state["sample"] = sample
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        harness = context.harness
+        sample = context.state["sample"]
+        timings = [
+            harness.router.route(labeled.execution.plan_pair).inference_seconds
+            for labeled in sample
+        ]
+        return RunResult(
+            metrics={
+                "inference_seconds": timings,
+                "routing_accuracy": harness.router.accuracy(sample),
+                "model_size_bytes": float(harness.router.model_size_bytes()),
+                "parameter_count": float(harness.router.parameter_count()),
+            },
+            counters={"routed": len(sample)},
+            operations=len(sample),
+        )
+
+
+class KBScalingStrategy(ExperimentStrategy):
+    """E11 as a suite: flat vs HNSW search latency per KB-size point."""
+
+    name = "kb_scaling"
+
+    def __init__(self, sizes: tuple[int, ...] = (20, 200, 1000), k: int = 2, queries_per_point: int = 20):
+        self.sizes = sizes
+        self.k = k
+        # kb_scaling() averages over (up to) 20 test-set query vectors.
+        self.queries_per_point = queries_per_point
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=2, warmup_runs=1)
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        rows = context.harness.kb_scaling(sizes=self.sizes, k=self.k)
+        metrics: dict[str, float] = {
+            f"search_ms.{row.store}.n{row.kb_size}": row.search_ms for row in rows
+        }
+        return RunResult(
+            metrics=metrics,
+            counters={"store_size_points": len(rows)},
+            operations=len(rows) * self.queries_per_point,
+        )
+
+
+class ServiceThroughputStrategy(ExperimentStrategy):
+    """The serving layer under load: cold, concurrent, then warm phases.
+
+    Each run drives a *fresh* :class:`ExplanationService` so warm-cache
+    numbers measure this run's cache, not a previous run's.  Cache hit
+    rates and batching stats come from the service's own metrics snapshot.
+    """
+
+    name = "service_throughput"
+
+    def __init__(
+        self,
+        concurrency: int = 16,
+        distinct_queries: int = 12,
+        total_requests: int = 48,
+        max_workers: int = 8,
+    ):
+        self.concurrency = concurrency
+        self.distinct_queries = distinct_queries
+        self.total_requests = total_requests
+        self.max_workers = max_workers
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=1, warmup_runs=0)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sqls = [labeled.sql for labeled in context.harness.dataset.test[: self.distinct_queries]]
+        if len(sqls) < 2:
+            raise ValueError("need at least two distinct test queries")
+        context.state["sqls"] = sqls
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        harness = context.harness
+        sqls: list[str] = context.state["sqls"]
+        service = ExplanationService(
+            harness.system,
+            harness.router,
+            harness.knowledge_base,
+            harness.llm,
+            top_k=harness.top_k,
+            max_workers=self.max_workers,
+            max_in_flight=self.total_requests + self.concurrency,
+        )
+        try:
+            # Phase A — cold, sequential, over *half* the distinct queries:
+            # the other half arrives cold during the concurrent phase so the
+            # micro-batcher actually gets concurrent encodes to coalesce.
+            cold_seconds: list[float] = []
+            for sql in sqls[: max(1, len(sqls) // 2)]:
+                start = time.perf_counter()
+                result = service.explain(sql)
+                cold_seconds.append(time.perf_counter() - start)
+                if not result.ok:
+                    raise RuntimeError(f"cold request failed: {result.error}")
+
+            # Phase B — concurrent repeating workload, half warm, half cold.
+            workload = [sqls[i % len(sqls)] for i in range(self.total_requests)]
+            concurrent_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=self.concurrency) as pool:
+                results = list(pool.map(service.explain, workload))
+            concurrent_seconds = time.perf_counter() - concurrent_start
+            errors = sum(not result.ok for result in results)
+            cache_hits = sum(result.cache_hit for result in results)
+
+            # Phase C — warm, sequential.
+            warm_seconds: list[float] = []
+            for sql in sqls:
+                start = time.perf_counter()
+                result = service.explain(sql)
+                warm_seconds.append(time.perf_counter() - start)
+                if not (result.ok and result.cache_hit):
+                    raise RuntimeError("warm request missed the explanation cache")
+
+            snapshot = service.metrics_snapshot()
+            cache_stats = snapshot["cache"]["explanations"]
+            mean_cold = sum(cold_seconds) / len(cold_seconds)
+            mean_warm = sum(warm_seconds) / len(warm_seconds)
+            operations = len(cold_seconds) + len(warm_seconds) + len(results)
+            return RunResult(
+                metrics={
+                    "cold_seconds": cold_seconds,
+                    "warm_seconds": warm_seconds,
+                    "concurrent_qps": len(results) / concurrent_seconds,
+                    "warm_speedup": mean_cold / mean_warm if mean_warm > 0 else 0.0,
+                    "explanation_hit_rate": cache_stats["hit_rate"],
+                    "mean_batch_size": snapshot["batching"]["mean_batch_size"],
+                },
+                counters={
+                    "requests": operations,
+                    "concurrent_requests": len(results),
+                    "errors": errors,
+                    "cache_hits": cache_hits,
+                    "shed": snapshot.get("requests.shed", 0),
+                },
+                operations=operations,
+            )
+        finally:
+            service.shutdown()
+
+
+def build_suites(
+    only: tuple[str, ...] | None = None,
+) -> dict[str, ExperimentStrategy]:
+    """The suite registry, optionally filtered to the requested names."""
+    strategies: tuple[ExperimentStrategy, ...] = (
+        LatencyBreakdownStrategy(),
+        RouterInferenceStrategy(),
+        KBScalingStrategy(),
+        ServiceThroughputStrategy(),
+    )
+    registry = {strategy.name: strategy for strategy in strategies}
+    if only is None:
+        return registry
+    unknown = sorted(set(only) - set(registry))
+    if unknown:
+        raise ValueError(f"unknown suite(s): {', '.join(unknown)}; available: {sorted(registry)}")
+    return {name: registry[name] for name in registry if name in only}
+
+
+def config_overrides(runs: int | None, warmup_runs: int | None, base: ExperimentConfig) -> ExperimentConfig:
+    """Apply CLI ``--runs`` / ``--warmups`` overrides onto a default config."""
+    merged = asdict(base)
+    if runs is not None:
+        merged["runs"] = runs
+    if warmup_runs is not None:
+        merged["warmup_runs"] = warmup_runs
+    return ExperimentConfig(**merged)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.explainer.evaluation import ExpertPanel, Grade
-from repro.explainer.pipeline import Explanation, RagExplainer, entries_from_labeled
+from repro.explainer.pipeline import RagExplainer, entries_from_labeled
 from repro.workloads.experts import SimulatedExpert
 from repro.workloads.labeling import LabeledQuery
 

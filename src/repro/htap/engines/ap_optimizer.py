@@ -110,7 +110,6 @@ class APOptimizer:
         # result, the smaller subtree still ends up on the build side.
         probe = self._access_path(analysis.access[order[0]])
         probe_rows = probe.plan_rows
-        placed = {order[0]}
         build_subtree: PlanNode | None = None
         build_rows = 0.0
         build_tables: set[str] = set()

@@ -1,14 +1,19 @@
 """Counters and latency histograms for the serving layer.
 
-Deliberately dependency-free: a :class:`MetricsRegistry` is a named bag of
+Deliberately lightweight: a :class:`MetricsRegistry` is a named bag of
 :class:`Counter` and :class:`LatencyHistogram` objects whose
 :meth:`~MetricsRegistry.snapshot` exports one plain dict — the contract the
-throughput benchmark and any external scraper consume.
+throughput benchmark, the ``BENCH_*.json`` exporter, and any external
+scraper consume.  Quantile math is delegated to :mod:`repro.bench.stats`
+so a p95 reported here uses the same nearest-rank convention as every
+other percentile in the repo.
 """
 
 from __future__ import annotations
 
 import threading
+
+from repro.bench.stats import percentile_index
 
 
 class Counter:
@@ -81,8 +86,7 @@ class LatencyHistogram:
             samples = self._sorted_samples()
             if not samples:
                 return 0.0
-            index = min(len(samples) - 1, int(round(fraction * len(samples))) - 1)
-            return samples[max(index, 0)]
+            return samples[percentile_index(len(samples), fraction)]
 
     @property
     def count(self) -> int:
@@ -97,7 +101,7 @@ class LatencyHistogram:
             size = len(samples)
 
             def at(fraction: float) -> float:
-                return samples[max(0, min(size - 1, int(round(fraction * size)) - 1))]
+                return samples[percentile_index(size, fraction)]
 
             return {
                 "count": self._count,

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.bench.export import report_to_payload, validate_payload
 from repro.bench.harness import EXAMPLE1_SQL, ExperimentHarness
 from repro.bench.reporting import format_percent, format_table
+from repro.bench.runner import ExperimentConfig, StrategyRunner
 from repro.htap.engines.base import EngineKind
 
 
@@ -109,14 +111,42 @@ def test_participant_study_rows(small_harness):
 def test_kb_scaling_rows(small_harness):
     rows = small_harness.kb_scaling(sizes=(20, 200), k=2)
     assert len(rows) == 4
-    assert {row["store"] for row in rows} == {"flat", "hnsw"}
-    assert all(row["search_ms"] >= 0.0 for row in rows)
+    assert {row.store for row in rows} == {"flat", "hnsw"}
+    assert all(row.search_ms >= 0.0 for row in rows)
+    # Rows are properly typed now: sizes are ints, not floats in disguise.
+    assert all(isinstance(row.kb_size, int) for row in rows)
+    assert rows[0].as_dict() == {
+        "kb_size": rows[0].kb_size,
+        "store": rows[0].store,
+        "search_ms": rows[0].search_ms,
+    }
 
 
 def test_curation_experiment(small_harness):
     result = small_harness.curation_experiment(candidate_pool=40, budget=10)
     assert result["kb_size_after_expiry"] == 10
     assert result["representative_factor_coverage"] >= result["random_factor_coverage"] - 1e-9
+
+
+def test_router_strategy_end_to_end(small_harness):
+    """A concrete strategy over the real harness exports a valid payload."""
+    from repro.bench.strategies import RouterInferenceStrategy, harness_config
+
+    runner = StrategyRunner(small_harness)
+    report = runner.run(
+        RouterInferenceStrategy(sample_size=10), ExperimentConfig(runs=2, warmup_runs=1)
+    )
+    assert report.name == "router"
+    assert report.metrics["inference_seconds"]["count"] == 20  # 2 runs x 10 routes
+    assert report.metrics["routing_accuracy"]["count"] == 2
+    assert report.metrics["routing_accuracy"]["p50"] >= 0.8
+    assert report.counters["routed"] == 20
+    assert report.ops_per_second > 0
+    payload = report_to_payload(
+        report, profile="quick", harness_config=harness_config(small_harness)
+    )
+    validate_payload(payload)
+    assert payload["harness"]["test_size"] == 40
 
 
 def test_prompt_assembly_checks(small_harness):

@@ -1,0 +1,184 @@
+"""Regression-gate tests: pass, regression, and missing-baseline verdicts."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench.compare import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    ComparisonReport,
+    Direction,
+    Tolerance,
+    Verdict,
+    compare_directories,
+    compare_payloads,
+    tolerance_for,
+)
+from repro.bench.export import SCHEMA_VERSION, bench_filename
+
+
+def _summary(value: float, count: int = 4) -> dict[str, float]:
+    return {
+        "count": count,
+        "mean": value,
+        "min": value,
+        "p50": value,
+        "p95": value,
+        "p99": value,
+        "max": value,
+    }
+
+
+def _payload(**overrides) -> dict:
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "tiny",
+        "profile": "quick",
+        "harness": {"seed": 2024},
+        "config": {"runs": 3, "warmup_runs": 1},
+        "duration_seconds": _summary(0.5),
+        "metrics": {
+            "latency_seconds": _summary(0.010),
+            "routing_accuracy": _summary(0.95),
+        },
+        "counters": {"errors": 0.0, "requests": 12.0},
+        "throughput": {"operations": 12.0, "ops_per_second": 100.0},
+    }
+    payload.update(overrides)
+    return payload
+
+
+# ----------------------------------------------------------- tolerance table
+def test_tolerance_classification():
+    assert tolerance_for("counters.errors").abs == 0.0
+    assert tolerance_for("counters.errors").direction is Direction.LOWER_IS_BETTER
+    assert tolerance_for("metrics.latency_seconds").direction is Direction.LOWER_IS_BETTER
+    assert tolerance_for("metrics.routing_accuracy").direction is Direction.HIGHER_IS_BETTER
+    assert tolerance_for("throughput.ops_per_second").direction is Direction.HIGHER_IS_BETTER
+    # Unmatched names never gate.
+    assert tolerance_for("counters.requests").direction is Direction.INFORMATIONAL
+
+
+def test_tolerance_slack_and_direction():
+    slower = Tolerance(Direction.LOWER_IS_BETTER, rel=1.0)
+    assert not slower.is_regression(baseline=0.010, current=0.019)  # within 2x
+    assert slower.is_regression(baseline=0.010, current=0.021)  # beyond 2x
+    faster_ok = Tolerance(Direction.HIGHER_IS_BETTER, rel=0.5)
+    assert not faster_ok.is_regression(baseline=100.0, current=51.0)
+    assert faster_ok.is_regression(baseline=100.0, current=49.0)
+    # Scale widens the slack.
+    assert not slower.is_regression(baseline=0.010, current=0.025, scale=2.0)
+
+
+# ------------------------------------------------------------- payload diffs
+def test_identical_payloads_all_pass():
+    baseline = _payload()
+    verdicts = compare_payloads(copy.deepcopy(baseline), baseline)
+    assert all(v.verdict in (Verdict.PASS, Verdict.INFO) for v in verdicts)
+    report = ComparisonReport(verdicts)
+    assert report.exit_code == EXIT_OK
+
+
+def test_latency_regression_detected():
+    baseline = _payload()
+    current = copy.deepcopy(baseline)
+    current["metrics"]["latency_seconds"] = _summary(0.200)  # 20x slower, > 5x allowed
+    verdicts = compare_payloads(current, baseline)
+    regressed = {v.metric for v in verdicts if v.verdict is Verdict.REGRESSION}
+    assert "metrics.latency_seconds" in regressed
+    assert ComparisonReport(verdicts).exit_code == EXIT_REGRESSION
+
+
+def test_accuracy_drop_and_error_increase_detected():
+    baseline = _payload()
+    current = copy.deepcopy(baseline)
+    current["metrics"]["routing_accuracy"] = _summary(0.70)  # drop > 0.10 abs
+    current["counters"]["errors"] = 2.0  # any increase fails
+    regressed = {
+        v.metric
+        for v in compare_payloads(current, baseline)
+        if v.verdict is Verdict.REGRESSION
+    }
+    assert {"metrics.routing_accuracy", "counters.errors"} <= regressed
+
+
+def test_improvement_never_gates():
+    baseline = _payload()
+    current = copy.deepcopy(baseline)
+    current["metrics"]["latency_seconds"] = _summary(0.001)  # 10x faster
+    current["metrics"]["routing_accuracy"] = _summary(1.0)
+    current["throughput"]["ops_per_second"] = 1000.0
+    verdicts = compare_payloads(current, baseline)
+    assert not [v for v in verdicts if v.verdict is Verdict.REGRESSION]
+
+
+def test_metric_disappearing_is_flagged():
+    baseline = _payload()
+    current = copy.deepcopy(baseline)
+    del current["metrics"]["routing_accuracy"]
+    verdicts = compare_payloads(current, baseline)
+    missing = [v for v in verdicts if v.verdict is Verdict.MISSING_IN_CURRENT]
+    assert [v.metric for v in missing] == ["metrics.routing_accuracy"]
+    assert ComparisonReport(verdicts).exit_code == EXIT_ERROR
+
+
+def test_new_metric_is_informational():
+    baseline = _payload()
+    current = copy.deepcopy(baseline)
+    current["metrics"]["new_thing_seconds"] = _summary(0.5)
+    verdicts = compare_payloads(current, baseline)
+    new = [v for v in verdicts if v.verdict is Verdict.NEW_METRIC]
+    assert [v.metric for v in new] == ["metrics.new_thing_seconds"]
+    assert ComparisonReport(verdicts).exit_code == EXIT_OK
+
+
+def test_profile_mismatch_is_an_error():
+    baseline = _payload()
+    current = _payload(profile="paper")
+    verdicts = compare_payloads(current, baseline)
+    assert [v.verdict for v in verdicts] == [Verdict.ERROR]
+    assert ComparisonReport(verdicts).exit_code == EXIT_ERROR
+
+
+# ---------------------------------------------------------- directory diffs
+def test_missing_baseline_file_verdict(tmp_path):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    (current_dir / bench_filename("tiny")).write_text(json.dumps(_payload()))
+    report = compare_directories(current_dir, baseline_dir, ["tiny"])
+    assert [v.verdict for v in report.verdicts] == [Verdict.MISSING_BASELINE]
+    assert report.exit_code == EXIT_ERROR
+
+
+def test_directory_compare_pass_and_regression(tmp_path):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    baseline = _payload()
+    (baseline_dir / bench_filename("tiny")).write_text(json.dumps(baseline))
+    (current_dir / bench_filename("tiny")).write_text(json.dumps(baseline))
+    assert compare_directories(current_dir, baseline_dir, ["tiny"]).exit_code == EXIT_OK
+
+    regressed = copy.deepcopy(baseline)
+    regressed["throughput"]["ops_per_second"] = 1.0  # collapsed throughput
+    (current_dir / bench_filename("tiny")).write_text(json.dumps(regressed))
+    report = compare_directories(current_dir, baseline_dir, ["tiny"])
+    assert report.exit_code == EXIT_REGRESSION
+
+
+def test_unreadable_baseline_is_an_error(tmp_path):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    (baseline_dir / bench_filename("tiny")).write_text("{broken")
+    (current_dir / bench_filename("tiny")).write_text(json.dumps(_payload()))
+    report = compare_directories(current_dir, baseline_dir, ["tiny"])
+    assert [v.verdict for v in report.verdicts] == [Verdict.ERROR]
+    assert report.exit_code == EXIT_ERROR

@@ -1,0 +1,123 @@
+"""Runner lifecycle tests: warm-up exclusion, teardown-on-failure, pooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentConfig,
+    ExperimentContext,
+    ExperimentStrategy,
+    RunResult,
+    StrategyRunner,
+)
+
+
+class RecordingStrategy(ExperimentStrategy):
+    """Returns 999.0 during warm-up runs and 1.0 afterwards.
+
+    If warm-ups leak into the statistics, every percentile shoots up by
+    three orders of magnitude — the assertion cannot pass by accident.
+    """
+
+    name = "recording"
+
+    def __init__(self, fail_on_run: int | None = None):
+        self.setup_calls = 0
+        self.teardown_calls = 0
+        self.execute_calls = 0
+        self.fail_on_run = fail_on_run
+
+    def setup(self, context: ExperimentContext) -> None:
+        self.setup_calls += 1
+        context.state["prepared"] = True
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        assert context.state.get("prepared"), "setup must run before execute"
+        self.execute_calls += 1
+        if self.fail_on_run is not None and self.execute_calls == self.fail_on_run:
+            raise RuntimeError("boom")
+        warming = self.execute_calls <= 2  # matches warmup_runs=2 below
+        value = 999.0 if warming else 1.0
+        return RunResult(
+            metrics={"value": value, "series": [value, value]},
+            counters={"executions": 1},
+            operations=4,
+        )
+
+    def teardown(self, context: ExperimentContext) -> None:
+        self.teardown_calls += 1
+
+
+@pytest.fixture
+def runner():
+    # The lifecycle tests never touch the harness; a sentinel keeps them fast.
+    return StrategyRunner(harness=object())
+
+
+def test_warmups_are_excluded_from_statistics(runner):
+    strategy = RecordingStrategy()
+    report = runner.run(strategy, ExperimentConfig(runs=3, warmup_runs=2))
+    assert strategy.execute_calls == 5
+    assert strategy.setup_calls == 1
+    assert strategy.teardown_calls == 1
+    # Only the three measured runs contribute observations.
+    assert report.metrics["value"]["count"] == 3
+    assert report.metrics["series"]["count"] == 6
+    for quantile in ("p50", "p95", "p99", "max"):
+        assert report.metrics["value"][quantile] == 1.0
+    assert report.counters["executions"] == 3
+    assert report.operations == 12
+    assert report.duration_seconds["count"] == 3
+    assert report.ops_per_second > 0
+
+
+def test_teardown_runs_when_execute_fails(runner):
+    strategy = RecordingStrategy(fail_on_run=2)
+    with pytest.raises(RuntimeError, match="boom"):
+        runner.run(strategy, ExperimentConfig(runs=3, warmup_runs=1))
+    assert strategy.teardown_calls == 1
+
+
+def test_teardown_runs_when_setup_fails(runner):
+    class FailingSetup(RecordingStrategy):
+        def setup(self, context):
+            super().setup(context)
+            raise ValueError("no resources")
+
+    strategy = FailingSetup()
+    with pytest.raises(ValueError, match="no resources"):
+        runner.run(strategy)
+    assert strategy.teardown_calls == 1
+    assert strategy.execute_calls == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(runs=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(runs=1, warmup_runs=-1)
+
+
+def test_default_config_used_when_none_given(runner):
+    class OneShot(RecordingStrategy):
+        def default_config(self):
+            return ExperimentConfig(runs=1, warmup_runs=0)
+
+    strategy = OneShot()
+    report = runner.run(strategy)
+    assert strategy.execute_calls == 1
+    assert report.config.runs == 1
+    assert report.config.warmup_runs == 0
+
+
+def test_throughput_zero_when_duration_zero(runner):
+    class Instant(ExperimentStrategy):
+        name = "instant"
+
+        def execute(self, context):
+            return RunResult(operations=0)
+
+    report = runner.run(Instant(), ExperimentConfig(runs=1, warmup_runs=0))
+    assert report.operations == 0
+    assert report.ops_per_second >= 0.0

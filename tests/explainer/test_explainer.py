@@ -8,7 +8,6 @@ from repro.explainer.pipeline import RagExplainer, entries_from_labeled
 from repro.explainer.timing import LatencyProfile
 from repro.htap.engines.base import EngineKind
 from repro.knowledge.knowledge_base import KnowledgeBase
-from repro.llm.simulated import SimulatedLLM
 from repro.workloads.experts import SimulatedExpert
 
 

@@ -8,7 +8,6 @@ from repro.htap.engines.query_analysis import analyze_query
 from repro.htap.engines.tp_optimizer import TPOptimizer
 from repro.htap.plan.nodes import NodeType
 from repro.htap.sql.parser import parse_query
-from repro.htap.statistics import StatisticsCatalog
 
 
 # --------------------------------------------------------- query analysis

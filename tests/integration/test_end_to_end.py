@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.dbgpt import DBGPTExplainer
-from repro.explainer.evaluation import ExpertPanel, Grade
+from repro.explainer.evaluation import ExpertPanel
 from repro.explainer.feedback import FeedbackLoop
 from repro.explainer.pipeline import RagExplainer, entries_from_labeled
 from repro.htap.engines.base import EngineKind
@@ -36,7 +36,9 @@ def test_full_pipeline_accuracy_beats_dbgpt(pipeline_setup):
     system, dataset, _router, _kb, explainer = pipeline_setup
     panel = ExpertPanel()
     sample = dataset.test[:30]
-    ours = panel.evaluate(sample, [explainer.explain_execution(l.execution) for l in sample])
+    ours = panel.evaluate(
+        sample, [explainer.explain_execution(labeled.execution) for labeled in sample]
+    )
     assert ours.accurate_rate >= 0.7
 
     dbgpt = DBGPTExplainer(system, SimulatedLLM(seed=11))

@@ -1,7 +1,6 @@
 """Tests for prompt assembly (Table I) and structural plan reasoning."""
 
 import numpy as np
-import pytest
 
 from repro.htap.engines.base import EngineKind
 from repro.htap.plan.serialize import plan_to_dict

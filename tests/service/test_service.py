@@ -6,7 +6,6 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-import pytest
 
 from repro.service import ExplanationService, RequestStatus, ServiceErrorCode
 
