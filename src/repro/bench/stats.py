@@ -48,15 +48,19 @@ def percentile(samples: Sequence[float], fraction: float, *, presorted: bool = F
 
 
 def summarize(samples: Iterable[float]) -> dict[str, float]:
-    """Count, mean, min/max, and the standard quantiles of ``samples``.
+    """Count, sum, mean, min/max, and the standard quantiles of ``samples``.
 
     This is the per-metric shape embedded in ``BENCH_*.json`` and returned
-    by :meth:`repro.service.metrics.LatencyHistogram.summary`.
+    by :meth:`repro.service.metrics.LatencyHistogram.summary`.  ``sum`` is
+    exported so scrapers (the Prometheus exposition in
+    :mod:`repro.obs.promtext`) can derive rates from consecutive
+    ``sum``/``count`` pairs.
     """
     ordered = sorted(samples)
     if not ordered:
         return {
             "count": 0,
+            "sum": 0.0,
             "mean": 0.0,
             "min": 0.0,
             "p50": 0.0,
@@ -65,9 +69,11 @@ def summarize(samples: Iterable[float]) -> dict[str, float]:
             "max": 0.0,
         }
     size = len(ordered)
+    total = sum(ordered)
     summary: dict[str, float] = {
         "count": size,
-        "mean": sum(ordered) / size,
+        "sum": total,
+        "mean": total / size,
         "min": ordered[0],
     }
     for name, fraction in SUMMARY_QUANTILES:

@@ -14,7 +14,12 @@ export one ``BENCH_<suite>.json`` per suite:
   size point);
 * ``service_throughput`` — cold/concurrent/warm phases against a live
   :class:`~repro.service.server.ExplanationService`, with cache hit rates
-  and batching stats pulled from :mod:`repro.service.metrics` snapshots.
+  and batching stats pulled from :mod:`repro.service.metrics` snapshots;
+* ``stage_breakdown`` — per-stage latency (parse / optimize / execute /
+  encode / retrieve / generate) of cold served requests, measured from
+  the tracing subsystem's span trees (:mod:`repro.obs.tracing`) rather
+  than ad-hoc timers, so the committed baseline also regression-tests
+  the instrumentation itself.
 
 This module imports :mod:`repro.service` and is therefore *not* re-exported
 from ``repro.bench.__init__`` — the serving layer itself depends on
@@ -272,6 +277,86 @@ class ServiceThroughputStrategy(ExperimentStrategy):
             service.shutdown()
 
 
+class StageBreakdownStrategy(ExperimentStrategy):
+    """Per-stage latency of cold served requests, read from span trees.
+
+    Each run installs a fresh enabled :class:`~repro.obs.tracing.Tracer`
+    and drives a fresh :class:`ExplanationService` (fresh caches, so every
+    request walks the full cold path), then pools every span duration by
+    stage name.  The exported ``stage_seconds.<stage>`` series therefore
+    double as a regression gate on the instrumentation: a stage that stops
+    emitting spans fails the run outright.
+    """
+
+    name = "stage_breakdown"
+
+    #: The six serve-path stages every cold request must traverse.
+    STAGES: tuple[str, ...] = (
+        "htap.parse",
+        "htap.optimize",
+        "htap.execute",
+        "pipeline.encode",
+        "pipeline.retrieve",
+        "pipeline.generate",
+    )
+
+    def __init__(self, requests: int = 12, max_workers: int = 4):
+        self.requests = requests
+        self.max_workers = max_workers
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=2, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sqls = [labeled.sql for labeled in context.harness.dataset.test[: self.requests]]
+        if not sqls:
+            raise ValueError("test set is empty; cannot trace served requests")
+        context.state["sqls"] = sqls
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        from repro.obs.store import TraceStore, stage_durations
+        from repro.obs.tracing import traced
+
+        harness = context.harness
+        sqls: list[str] = context.state["sqls"]
+        store = TraceStore(max_slow=4, max_recent=len(sqls) + 4)
+        with traced(store=store):
+            service = ExplanationService(
+                harness.system,
+                harness.router,
+                harness.knowledge_base,
+                harness.llm,
+                top_k=harness.top_k,
+                max_workers=self.max_workers,
+            )
+            try:
+                request_seconds: list[float] = []
+                for sql in sqls:
+                    start = time.perf_counter()
+                    result = service.explain(sql)
+                    request_seconds.append(time.perf_counter() - start)
+                    if not result.ok:
+                        raise RuntimeError(f"traced request failed: {result.error}")
+            finally:
+                service.shutdown()
+        traces = store.traces()
+        pooled = stage_durations(traces)
+        missing = [stage for stage in self.STAGES if not pooled.get(stage)]
+        if missing:
+            raise RuntimeError(f"stages missing from traces: {', '.join(missing)}")
+        metrics: dict[str, Any] = {"request_seconds": request_seconds}
+        for stage in self.STAGES:
+            metrics[f"stage_seconds.{stage}"] = pooled[stage]
+        return RunResult(
+            metrics=metrics,
+            counters={
+                "traced_requests": len(traces),
+                "spans": sum(len(trace.spans) for trace in traces),
+            },
+            operations=len(sqls),
+        )
+
+
 def build_suites(
     only: tuple[str, ...] | None = None,
 ) -> dict[str, ExperimentStrategy]:
@@ -281,6 +366,7 @@ def build_suites(
         RouterInferenceStrategy(),
         KBScalingStrategy(),
         ServiceThroughputStrategy(),
+        StageBreakdownStrategy(),
     )
     registry = {strategy.name: strategy for strategy in strategies}
     if only is None:

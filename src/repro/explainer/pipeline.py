@@ -29,6 +29,7 @@ from repro.knowledge.entry import KnowledgeEntry
 from repro.knowledge.knowledge_base import KnowledgeBase, RetrievalResult, RetrievedKnowledge
 from repro.llm.client import LLMClient, LLMRequest, LLMResponse
 from repro.llm.prompts import KnowledgeAttachment, PromptBuilder, PromptPayload, QuestionAttachment
+from repro.obs.tracing import get_tracer
 from repro.router.router import SmartRouter
 from repro.explainer.timing import LatencyProfile
 from repro.workloads.experts import SimulatedExpert
@@ -174,11 +175,15 @@ class RagExplainer:
     # ------------------------------------------------------------------ stages
     def encode_stage(self, plan_pair: PlanPair) -> tuple[np.ndarray, float]:
         """Stage 1: encode the plan pair; returns (embedding, encode seconds)."""
-        return self.router.timed_embed(plan_pair)
+        with get_tracer().span("pipeline.encode", batched=False):
+            return self.router.timed_embed(plan_pair)
 
     def retrieve_stage(self, embedding: np.ndarray) -> RetrievalResult:
         """Stage 2: top-K knowledge retrieval for an embedding."""
-        return self.knowledge_base.retrieve(embedding, k=self.top_k)
+        with get_tracer().span("pipeline.retrieve", top_k=self.top_k) as span:
+            retrieval = self.knowledge_base.retrieve(embedding, k=self.top_k)
+            span.set_attribute("hits", len(retrieval.hits))
+            return retrieval
 
     def generate_stage(
         self,
@@ -192,6 +197,28 @@ class RagExplainer:
         user_notes: str | None = None,
     ) -> Explanation:
         """Stage 3: assemble the prompt, call the LLM, package the result."""
+        with get_tracer().span("pipeline.generate", retrieved=len(retrieval.hits)):
+            return self._generate(
+                plan_pair,
+                embedding,
+                retrieval,
+                encode_seconds=encode_seconds,
+                execution_result=execution_result,
+                faster_engine=faster_engine,
+                user_notes=user_notes,
+            )
+
+    def _generate(
+        self,
+        plan_pair: PlanPair,
+        embedding: np.ndarray,
+        retrieval: RetrievalResult,
+        *,
+        encode_seconds: float,
+        execution_result: str | None,
+        faster_engine: EngineKind | None,
+        user_notes: str | None,
+    ) -> Explanation:
         knowledge_attachments = [
             KnowledgeAttachment.from_entry(hit.entry, similarity=hit.similarity)
             for hit in retrieval.hits
@@ -205,7 +232,7 @@ class RagExplainer:
         )
         prompt = self.prompt_builder.build(question, knowledge_attachments, user_notes=user_notes)
         request = LLMRequest(prompt=prompt.text, attachments=prompt.attachments())
-        response = self.llm.generate(request)
+        response = self.llm.generate_traced(request)
         latency = LatencyProfile(
             encode_seconds=encode_seconds,
             search_seconds=retrieval.search_seconds,

@@ -28,6 +28,7 @@ from repro.htap.plan.nodes import PlanNode
 from repro.htap.plan.serialize import plan_to_dict
 from repro.htap.sql import ast, parse_query
 from repro.htap.statistics import StatisticsCatalog
+from repro.obs.tracing import get_tracer
 
 
 @dataclass
@@ -142,7 +143,8 @@ class HTAPSystem:
     # ------------------------------------------------------------------ query
     def parse(self, sql: str) -> ast.Query:
         """Parse SQL into the shared AST."""
-        return parse_query(sql)
+        with get_tracer().span("htap.parse"):
+            return parse_query(sql)
 
     def analyze(self, query: ast.Query | str) -> QueryAnalysis:
         """Engine-agnostic logical analysis of a query."""
@@ -152,8 +154,9 @@ class HTAPSystem:
     def explain_pair(self, query: ast.Query | str) -> PlanPair:
         """Plan the query on both engines (the EXPLAIN step of the paper)."""
         parsed = self.parse(query) if isinstance(query, str) else query
-        tp_plan = self.tp_optimizer.optimize(parsed)
-        ap_plan = self.ap_optimizer.optimize(parsed)
+        with get_tracer().span("htap.optimize", engines="tp+ap"):
+            tp_plan = self.tp_optimizer.optimize(parsed)
+            ap_plan = self.ap_optimizer.optimize(parsed)
         return PlanPair(query=parsed, tp_plan=tp_plan, ap_plan=ap_plan)
 
     def execute_plan(self, engine: EngineKind, plan: PlanNode) -> ExecutionResult:
@@ -163,8 +166,9 @@ class HTAPSystem:
     def run_both(self, query: ast.Query | str) -> QueryExecution:
         """Plan and execute the query on both engines, as the paper's setup does."""
         plan_pair = self.explain_pair(query)
-        tp_result = self.simulator.execute(EngineKind.TP, plan_pair.tp_plan)
-        ap_result = self.simulator.execute(EngineKind.AP, plan_pair.ap_plan)
+        with get_tracer().span("htap.execute", engines="tp+ap"):
+            tp_result = self.simulator.execute(EngineKind.TP, plan_pair.tp_plan)
+            ap_result = self.simulator.execute(EngineKind.AP, plan_pair.ap_plan)
         return QueryExecution(
             query=plan_pair.query,
             plan_pair=plan_pair,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.knowledge.entry import KnowledgeEntry
 from repro.knowledge.locking import ReadWriteLock
 from repro.knowledge.vector_store import FlatVectorStore, SearchResult, VectorStore
+from repro.obs.tracing import get_tracer
 
 #: Signature of a knowledge-base write listener: ``(event, entry_id)`` where
 #: ``event`` is one of ``"add"``, ``"remove"``, ``"correct"``.
@@ -153,15 +154,17 @@ class KnowledgeBase:
 
         ``k=2`` is the paper's default retrieval depth.
         """
-        with self._lock.read_locked():
-            start = time.perf_counter()
-            raw: list[SearchResult] = self.vector_store.search(
-                np.asarray(embedding, dtype=np.float64), k
-            )
-            elapsed = time.perf_counter() - start
-            hits = [
-                RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
-                for rank, result in enumerate(raw, start=1)
-                if result.key in self._entries
-            ]
-        return RetrievalResult(hits=hits, search_seconds=elapsed)
+        with get_tracer().span("kb.retrieve", k=k) as span:
+            with self._lock.read_locked():
+                start = time.perf_counter()
+                raw: list[SearchResult] = self.vector_store.search(
+                    np.asarray(embedding, dtype=np.float64), k
+                )
+                elapsed = time.perf_counter() - start
+                hits = [
+                    RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
+                    for rank, result in enumerate(raw, start=1)
+                    if result.key in self._entries
+                ]
+            span.set_attribute("hits", len(hits))
+            return RetrievalResult(hits=hits, search_seconds=elapsed)

@@ -24,6 +24,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs.tracing import get_tracer
+
 
 @dataclass(frozen=True)
 class SearchResult:
@@ -120,17 +122,25 @@ class FlatVectorStore(VectorStore):
     def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
         if k <= 0 or not self._keys:
             return []
-        query = _as_matrix(vector)
-        matrix = np.vstack(self._vectors)
-        if self.metric == "cosine":
-            norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
-            norms[norms == 0.0] = 1.0
-            similarities = matrix @ query / norms
-            distances = 1.0 - similarities
-        else:
-            distances = np.linalg.norm(matrix - query, axis=1)
-        order = np.argsort(distances, kind="stable")[:k]
-        return [SearchResult(key=self._keys[int(i)], distance=float(distances[int(i)])) for i in order]
+        with get_tracer().span(
+            "kb.search", store="flat", candidates_scanned=len(self._keys)
+        ) as span:
+            query = _as_matrix(vector)
+            matrix = np.vstack(self._vectors)
+            if self.metric == "cosine":
+                norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
+                norms[norms == 0.0] = 1.0
+                similarities = matrix @ query / norms
+                distances = 1.0 - similarities
+            else:
+                distances = np.linalg.norm(matrix - query, axis=1)
+            order = np.argsort(distances, kind="stable")[:k]
+            results = [
+                SearchResult(key=self._keys[int(i)], distance=float(distances[int(i)]))
+                for i in order
+            ]
+            span.set_attribute("hits", len(results))
+            return results
 
     def keys(self) -> list[str]:
         return list(self._keys)
@@ -226,7 +236,7 @@ class HNSWVectorStore(VectorStore):
             current = self._greedy_search(vector, current, layer)
         # Insert into each layer from min(level, entry_level) down to 0.
         for layer in range(min(level, entry_level), -1, -1):
-            candidates = self._search_layer(vector, [current], layer, self.ef_construction)
+            candidates, _scanned = self._search_layer(vector, [current], layer, self.ef_construction)
             neighbors = self._select_neighbors(vector, candidates, self._max_neighbors(layer))
             node.neighbors[layer] = [neighbor_id for _dist, neighbor_id in neighbors]
             for _dist, neighbor_id in neighbors:
@@ -269,23 +279,32 @@ class HNSWVectorStore(VectorStore):
     def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
         if k <= 0 or self._entry_point is None or self._live_count == 0:
             return []
-        query = _as_matrix(vector)
-        # Tombstoned nodes still occupy slots in the ef candidate list, so a
-        # store with D deletions would otherwise return fewer than k live
-        # hits.  Inflate ef by the tombstone count, and fall back to an
-        # exhaustive ef if the inflated pass still comes up short.
-        tombstones = len(self._nodes) - self._live_count
-        ef = max(self.ef_search, k) + tombstones
-        results = self._search_with_ef(query, k, ef)
-        if len(results) < min(k, self._live_count) and ef < len(self._nodes):
-            results = self._search_with_ef(query, k, len(self._nodes))
-        return results
+        with get_tracer().span("kb.search", store="hnsw") as span:
+            query = _as_matrix(vector)
+            # Tombstoned nodes still occupy slots in the ef candidate list, so a
+            # store with D deletions would otherwise return fewer than k live
+            # hits.  Inflate ef by the tombstone count, and fall back to an
+            # exhaustive ef if the inflated pass still comes up short.
+            tombstones = len(self._nodes) - self._live_count
+            ef = max(self.ef_search, k) + tombstones
+            results, scanned = self._search_with_ef(query, k, ef)
+            if len(results) < min(k, self._live_count) and ef < len(self._nodes):
+                results, fallback_scanned = self._search_with_ef(query, k, len(self._nodes))
+                scanned += fallback_scanned
+            span.set_attributes(
+                ef=ef,
+                tombstones=tombstones,
+                candidates_scanned=scanned,
+                hits=len(results),
+            )
+            return results
 
-    def _search_with_ef(self, query: np.ndarray, k: int, ef: int) -> list[SearchResult]:
+    def _search_with_ef(self, query: np.ndarray, k: int, ef: int) -> tuple[list[SearchResult], int]:
+        """One full descent + layer-0 expansion; returns (hits, nodes visited)."""
         current = self._entry_point
         for layer in range(self._nodes[current].max_level, 0, -1):
             current = self._greedy_search(query, current, layer)
-        candidates = self._search_layer(query, [current], 0, ef)
+        candidates, scanned = self._search_layer(query, [current], 0, ef)
         candidates.sort()
         results: list[SearchResult] = []
         for distance, node_id in candidates:
@@ -295,7 +314,7 @@ class HNSWVectorStore(VectorStore):
             results.append(SearchResult(key=node.key, distance=float(distance)))
             if len(results) == k:
                 break
-        return results
+        return results, scanned
 
     def _greedy_search(self, query: np.ndarray, start: int, layer: int) -> int:
         current = start
@@ -312,7 +331,8 @@ class HNSWVectorStore(VectorStore):
 
     def _search_layer(
         self, query: np.ndarray, entry_points: list[int], layer: int, ef: int
-    ) -> list[tuple[float, int]]:
+    ) -> tuple[list[tuple[float, int]], int]:
+        """Beam search on one layer; returns (candidates, distinct nodes visited)."""
         visited = set(entry_points)
         candidates: list[tuple[float, int]] = []
         best: list[tuple[float, int]] = []  # max-heap via negated distance
@@ -334,7 +354,7 @@ class HNSWVectorStore(VectorStore):
                     heapq.heappush(best, (-neighbor_distance, neighbor_id))
                     if len(best) > ef:
                         heapq.heappop(best)
-        return [(-negated, node_id) for negated, node_id in best]
+        return [(-negated, node_id) for negated, node_id in best], len(visited)
 
     # ----------------------------------------------------------------- remove
     def remove(self, key: str) -> None:

@@ -19,6 +19,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.tracing import get_tracer
+
 #: Sentinel text returned when the model decides the retrieved knowledge does
 #: not contain the facts needed to answer (paper: "return None").
 NONE_ANSWER = "None"
@@ -67,6 +69,20 @@ class LLMClient(abc.ABC):
     @abc.abstractmethod
     def generate(self, request: LLMRequest) -> LLMResponse:
         """Produce a response for ``request``."""
+
+    def generate_traced(self, request: LLMRequest) -> LLMResponse:
+        """:meth:`generate` inside an ``llm.generate`` span.
+
+        The span is a no-op unless a request trace is open, so backends
+        stay free to call plain :meth:`generate` from anywhere.
+        """
+        with get_tracer().span("llm.generate", model=self.name) as span:
+            response = self.generate(request)
+            span.set_attributes(
+                model=response.model_name,
+                none_answer=response.is_none_answer,
+            )
+            return response
 
     def generate_text(self, prompt: str) -> str:
         """Convenience wrapper returning only the text."""

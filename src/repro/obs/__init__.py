@@ -1,0 +1,47 @@
+"""repro.obs — tracing, trace retention, and metric exposition.
+
+The observability layer for the serving system: request-scoped
+:class:`Span` trees with monotonic-clock timing and ``contextvars``
+propagation (:mod:`repro.obs.tracing`), bounded slow-trace retention
+(:mod:`repro.obs.store`), a JSON-lines trace log
+(:mod:`repro.obs.jsonlog`), a Prometheus-style text exposition
+(:mod:`repro.obs.promtext`), and the ``repro-trace`` CLI
+(:mod:`repro.obs.cli`).
+
+Tracing is **off by default** and free when off; enable it for a scope
+with::
+
+    from repro.obs import traced
+
+    with traced() as tracer:
+        service.explain(sql)
+    print(tracer.store.slowest(1)[0].span_names())
+"""
+
+from repro.obs.jsonlog import TraceLogWriter, read_traces
+from repro.obs.promtext import merged_exposition, render_prometheus
+from repro.obs.store import Trace, TraceStore, stage_durations
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "TraceLogWriter",
+    "TraceStore",
+    "Tracer",
+    "get_tracer",
+    "merged_exposition",
+    "read_traces",
+    "render_prometheus",
+    "set_tracer",
+    "stage_durations",
+    "traced",
+]

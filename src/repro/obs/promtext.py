@@ -1,0 +1,106 @@
+"""Prometheus-style text exposition of metrics snapshots.
+
+Renders the plain-dict contract of
+:meth:`repro.service.metrics.MetricsRegistry.snapshot` (and the service's
+richer :meth:`~repro.service.server.ExplanationService.metrics_snapshot`,
+and the tracer's per-stage histograms) into the Prometheus text format
+version 0.0.4 — the format every scraper, ``curl`` invocation, and
+``promtool check metrics`` understands:
+
+* integer scalars become ``counter`` samples (every scalar the registry
+  exports is a monotonically increasing count);
+* float scalars become ``gauge`` samples;
+* histogram summaries (dicts carrying ``count`` and ``p50``) become
+  ``summary`` families — ``{quantile="0.5"}`` samples plus ``_count`` and
+  ``_sum`` — with ``min``/``max``/``mean`` exported as sibling gauges;
+* nested dicts flatten into underscore-joined metric names
+  (``cache.explanations.hit_rate`` → ``repro_cache_explanations_hit_rate``).
+
+There is no HTTP server here on purpose: the exposition is a pure
+function of a snapshot, so it can be dumped to a file, served by any web
+layer, or asserted on in tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+#: Quantile-label mapping for the summary keys the registry exports.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+#: Summary keys re-exported as sibling gauges rather than quantiles.
+_SIDE_GAUGES = ("min", "max", "mean")
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def metric_name(*parts: str, namespace: str = "repro") -> str:
+    """Join snapshot path parts into a valid Prometheus metric name."""
+    joined = "_".join(part for part in (namespace, *parts) if part)
+    sanitized = _INVALID_CHARS.sub("_", joined.replace(".", "_"))
+    if _LEADING_DIGIT.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _is_summary(value: Mapping[str, Any]) -> bool:
+    return "count" in value and "p50" in value
+
+
+def _render_summary(name: str, summary: Mapping[str, Any], lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} summary")
+    for key, quantile in _QUANTILE_KEYS:
+        if key in summary:
+            lines.append(f'{name}{{quantile="{quantile}"}} {_format_value(summary[key])}')
+    lines.append(f"{name}_count {_format_value(summary.get('count', 0))}")
+    if "sum" in summary:
+        lines.append(f"{name}_sum {_format_value(summary['sum'])}")
+    for key in _SIDE_GAUGES:
+        if key in summary:
+            side = f"{name}_{key}"
+            lines.append(f"# TYPE {side} gauge")
+            lines.append(f"{side} {_format_value(summary[key])}")
+
+
+def _render(prefix: tuple[str, ...], value: Any, namespace: str, lines: list[str]) -> None:
+    if isinstance(value, Mapping):
+        if _is_summary(value):
+            _render_summary(metric_name(*prefix, namespace=namespace), value, lines)
+            return
+        for key in sorted(value):
+            _render(prefix + (str(key),), value[key], namespace, lines)
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return  # non-numeric leaves (labels, strings) are not exposable
+    name = metric_name(*prefix, namespace=namespace)
+    kind = "gauge" if isinstance(value, float) else "counter"
+    lines.append(f"# TYPE {name} {kind}")
+    lines.append(f"{name} {_format_value(value)}")
+
+
+def render_prometheus(snapshot: Mapping[str, Any], *, namespace: str = "repro") -> str:
+    """The Prometheus text exposition of one metrics snapshot."""
+    lines: list[str] = []
+    _render((), snapshot, namespace, lines)
+    return "\n".join(lines) + "\n"
+
+
+def merged_exposition(*snapshots: Mapping[str, Any], namespace: str = "repro") -> str:
+    """Render several snapshots (service metrics + tracer stages) as one page.
+
+    Later snapshots win on key collisions, mirroring ``dict.update``.
+    """
+    merged: dict[str, Any] = {}
+    for snapshot in snapshots:
+        merged.update(snapshot)
+    return render_prometheus(merged, namespace=namespace)

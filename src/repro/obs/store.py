@@ -1,0 +1,169 @@
+"""Bounded in-memory retention of finished traces.
+
+Keeping every trace of a high-traffic service would be an unbounded
+memory leak, but keeping none makes "why was that request slow" forever
+unanswerable.  :class:`TraceStore` splits the difference the way
+production tracing back-ends do:
+
+* a **slow-trace exemplar heap** — the N slowest full traces ever seen
+  (min-heap keyed by root duration, so a new trace only displaces the
+  least-slow exemplar);
+* a **recent-trace ring** — the last M traces regardless of speed, which
+  is what gives percentile-ish visibility into the ordinary case.
+
+Both sides hold complete traces (every span, every attribute), so a
+retained trace can always be rendered as a full tree by ``repro-trace``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracing import Span
+
+
+@dataclass
+class Trace:
+    """One finished request: the root span plus every descendant."""
+
+    trace_id: str
+    root: "Span"
+    spans: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.root.duration_seconds
+
+    @property
+    def name(self) -> str:
+        return self.root.name
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def span_names(self) -> list[str]:
+        return [span.name for span in self.spans]
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span in the trace with the given name."""
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span_id: str | None) -> list["Span"]:
+        """Direct children of ``span_id`` ordered by start time."""
+        children = [span for span in self.spans if span.parent_id == span_id]
+        children.sort(key=lambda span: span.start_seconds)
+        return children
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-lines export shape (one object per trace)."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "span_count": len(self.spans),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class TraceStore:
+    """Thread-safe bounded trace retention (slow exemplars + recent ring)."""
+
+    def __init__(self, *, max_slow: int = 16, max_recent: int = 128):
+        if max_slow < 0:
+            raise ValueError("max_slow must be non-negative")
+        if max_recent < 1:
+            raise ValueError("max_recent must be at least 1")
+        self.max_slow = max_slow
+        self.max_recent = max_recent
+        self._lock = threading.Lock()
+        # Min-heap of (duration, tiebreak, trace); the top is the least-slow
+        # exemplar and is displaced first.
+        self._slow: list[tuple[float, int, Trace]] = []
+        self._recent: "deque[Trace]" = deque(maxlen=max_recent)
+        self._tiebreak = itertools.count()
+        self._added = 0
+
+    # ------------------------------------------------------------------ write
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._added += 1
+            self._recent.append(trace)
+            if self.max_slow == 0:
+                return
+            item = (trace.duration_seconds, next(self._tiebreak), trace)
+            if len(self._slow) < self.max_slow:
+                heapq.heappush(self._slow, item)
+            elif trace.duration_seconds > self._slow[0][0]:
+                heapq.heapreplace(self._slow, item)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slow.clear()
+            self._recent.clear()
+
+    # ------------------------------------------------------------------- read
+    def slowest(self, n: int | None = None) -> list[Trace]:
+        """The retained slow-trace exemplars, slowest first."""
+        with self._lock:
+            ordered = sorted(self._slow, key=lambda item: item[0], reverse=True)
+        traces = [trace for _duration, _tiebreak, trace in ordered]
+        return traces if n is None else traces[:n]
+
+    def recent(self, n: int | None = None) -> list[Trace]:
+        """The most recent traces, newest first."""
+        with self._lock:
+            traces = list(self._recent)
+        traces.reverse()
+        return traces if n is None else traces[:n]
+
+    def get(self, trace_id: str) -> Trace | None:
+        """A retained trace by id, or ``None`` if it aged out."""
+        with self._lock:
+            for trace in self._recent:
+                if trace.trace_id == trace_id:
+                    return trace
+            for _duration, _tiebreak, trace in self._slow:
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def traces(self) -> list[Trace]:
+        """Every distinct retained trace (recent ∪ slow), newest first."""
+        seen: set[str] = set()
+        combined: list[Trace] = []
+        for trace in itertools.chain(self.recent(), self.slowest()):
+            if trace.trace_id not in seen:
+                seen.add(trace.trace_id)
+                combined.append(trace)
+        return combined
+
+    def __len__(self) -> int:
+        return len(self.traces())
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "added": self._added,
+                "slow_retained": len(self._slow),
+                "recent_retained": len(self._recent),
+            }
+
+
+def stage_durations(traces: Iterable[Trace]) -> dict[str, list[float]]:
+    """Pool per-span durations by span name across many traces.
+
+    This is the aggregation behind both ``repro-trace breakdown`` and the
+    ``stage_breakdown`` bench suite.
+    """
+    pooled: dict[str, list[float]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            pooled.setdefault(span.name, []).append(span.duration_seconds)
+    return pooled

@@ -28,6 +28,7 @@ import numpy as np
 from repro.htap.catalog import Catalog
 from repro.htap.engines.base import EngineKind
 from repro.htap.system import PlanPair
+from repro.obs.tracing import get_tracer
 from repro.router.features import PlanFeaturizer
 from repro.router.tensors import PlanTensor
 from repro.router.training import RouterTrainer, TrainingReport, TrainingSample
@@ -103,18 +104,21 @@ class SmartRouter:
     # ------------------------------------------------------------------ route
     def route(self, plan_pair: PlanPair) -> RoutingDecision:
         """Predict the faster engine for a plan pair."""
-        tp_tensor = PlanTensor.from_plan(plan_pair.tp_plan, self.featurizer)
-        ap_tensor = PlanTensor.from_plan(plan_pair.ap_plan, self.featurizer)
-        start = time.perf_counter()
-        probabilities = self.model.predict_proba(tp_tensor, ap_tensor)
-        elapsed = time.perf_counter() - start
-        winner = EngineKind.TP if probabilities[CLASS_TP] >= probabilities[CLASS_AP] else EngineKind.AP
-        return RoutingDecision(
-            engine=winner,
-            confidence=float(np.max(probabilities)),
-            probabilities=(float(probabilities[CLASS_TP]), float(probabilities[CLASS_AP])),
-            inference_seconds=elapsed,
-        )
+        with get_tracer().span("router.route") as span:
+            tp_tensor = PlanTensor.from_plan(plan_pair.tp_plan, self.featurizer)
+            ap_tensor = PlanTensor.from_plan(plan_pair.ap_plan, self.featurizer)
+            start = time.perf_counter()
+            probabilities = self.model.predict_proba(tp_tensor, ap_tensor)
+            elapsed = time.perf_counter() - start
+            winner = EngineKind.TP if probabilities[CLASS_TP] >= probabilities[CLASS_AP] else EngineKind.AP
+            confidence = float(np.max(probabilities))
+            span.set_attributes(engine=winner.value, confidence=round(confidence, 4))
+            return RoutingDecision(
+                engine=winner,
+                confidence=confidence,
+                probabilities=(float(probabilities[CLASS_TP]), float(probabilities[CLASS_AP])),
+                inference_seconds=elapsed,
+            )
 
     # ------------------------------------------------------------------ embed
     def embed_pair(self, plan_pair: PlanPair) -> np.ndarray:
@@ -138,14 +142,15 @@ class SmartRouter:
         convolutions and the dense head each run as a single stacked matmul
         over the whole batch instead of ``N`` independent passes.
         """
-        tensor_pairs = [
-            (
-                PlanTensor.from_plan(pair.tp_plan, self.featurizer),
-                PlanTensor.from_plan(pair.ap_plan, self.featurizer),
-            )
-            for pair in plan_pairs
-        ]
-        return self.model.embed_pairs(tensor_pairs)
+        with get_tracer().span("router.embed_batch", batch_size=len(plan_pairs)):
+            tensor_pairs = [
+                (
+                    PlanTensor.from_plan(pair.tp_plan, self.featurizer),
+                    PlanTensor.from_plan(pair.ap_plan, self.featurizer),
+                )
+                for pair in plan_pairs
+            ]
+            return self.model.embed_pairs(tensor_pairs)
 
     def timed_embed_batch(self, plan_pairs: Sequence[PlanPair]) -> tuple[np.ndarray, float]:
         """Batched embeddings plus total wall-clock encoding time."""

@@ -21,10 +21,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.tracing import NULL_SPAN, get_tracer
 from repro.service.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.htap.system import PlanPair
+    from repro.obs.tracing import Span
     from repro.router.router import SmartRouter
 
 
@@ -32,6 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class _PendingEncode:
     plan_pair: "PlanPair"
     future: "Future[np.ndarray]"
+    #: Ambient span of the submitting thread, captured at submit time so the
+    #: flush (which runs on the scheduler thread, where contextvars from the
+    #: submitter are invisible) can re-parent its span under the request.
+    parent_span: "Span" = NULL_SPAN
 
 
 class MicroBatcher:
@@ -67,7 +73,11 @@ class MicroBatcher:
     # ----------------------------------------------------------------- public
     def submit(self, plan_pair: "PlanPair") -> "Future[np.ndarray]":
         """Enqueue one plan pair; the future resolves to its embedding row."""
-        pending = _PendingEncode(plan_pair=plan_pair, future=Future())
+        pending = _PendingEncode(
+            plan_pair=plan_pair,
+            future=Future(),
+            parent_span=get_tracer().current_span(),
+        )
         with self._submit_lock:
             if self._closed.is_set():
                 raise RuntimeError("MicroBatcher is closed")
@@ -124,6 +134,7 @@ class MicroBatcher:
             self._flush(batch)
 
     def _flush(self, batch: list[_PendingEncode]) -> None:
+        flush_start = time.perf_counter()
         try:
             embeddings = self.router.embed_batch([item.plan_pair for item in batch])
         except Exception as exc:  # pragma: no cover - defensive
@@ -131,6 +142,20 @@ class MicroBatcher:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
+        flush_end = time.perf_counter()
+        # One pre-timed span per coalesced request, re-parented under the
+        # span its submitter captured; requests sharing a batch report the
+        # same forward-pass window.
+        tracer = get_tracer()
+        for item in batch:
+            tracer.record_span(
+                "router.embed_batch",
+                parent=item.parent_span,
+                start_seconds=flush_start,
+                end_seconds=flush_end,
+                batch_size=len(batch),
+                coalesced=len(batch) > 1,
+            )
         self.metrics.counter("batcher.batches").increment()
         self.metrics.counter("batcher.requests").increment(len(batch))
         if len(batch) > 1:

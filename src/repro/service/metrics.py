@@ -56,11 +56,14 @@ class LatencyHistogram:
         self._cursor = 0
         self._count = 0
         self._total = 0.0
+        self._min = 0.0
         self._max = 0.0
         self._sorted_cache: list[float] | None = None
 
     def record(self, seconds: float) -> None:
         with self._lock:
+            if self._count == 0 or seconds < self._min:
+                self._min = seconds
             self._count += 1
             self._total += seconds
             if seconds > self._max:
@@ -94,10 +97,26 @@ class LatencyHistogram:
             return self._count
 
     def summary(self) -> dict[str, float]:
+        """Count, sum, mean, all-time min/max, and ring-window percentiles.
+
+        ``min``/``max``/``sum``/``mean`` cover every sample ever recorded
+        (not just the retained ring), so a scraper can derive rates from
+        consecutive ``sum``/``count`` pairs without losing overwritten
+        samples; the percentiles are computed over the ring window.
+        """
         with self._lock:
             samples = self._sorted_samples()
             if not samples:
-                return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+                return {
+                    "count": 0,
+                    "sum": 0.0,
+                    "mean": 0.0,
+                    "min": 0.0,
+                    "p50": 0.0,
+                    "p95": 0.0,
+                    "p99": 0.0,
+                    "max": 0.0,
+                }
             size = len(samples)
 
             def at(fraction: float) -> float:
@@ -105,7 +124,9 @@ class LatencyHistogram:
 
             return {
                 "count": self._count,
+                "sum": self._total,
                 "mean": self._total / self._count,
+                "min": self._min,
                 "p50": at(0.50),
                 "p95": at(0.95),
                 "p99": at(0.99),
@@ -136,6 +157,17 @@ class MetricsRegistry:
             return histogram
 
     def snapshot(self) -> dict[str, object]:
+        # Lock discipline, audited under 16-way writer stress (see
+        # tests/service/test_batching_and_metrics.py): the registry lock
+        # only guards the name->object maps and is released before any
+        # per-object read, so a snapshot never blocks writers for longer
+        # than two dict copies.  Each Counter.value and
+        # LatencyHistogram.summary() takes its own lock — record() both
+        # mutates the ring and invalidates the sorted-cache under that
+        # same lock, and summary() rebuilds the cache under it, so a
+        # concurrent record can never leave summary() indexing a stale or
+        # half-built sorted view.  The snapshot is point-in-time per
+        # metric, not atomic across metrics (documented contract).
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)

@@ -36,6 +36,7 @@ from repro.htap.system import HTAPSystem, QueryExecution
 from repro.knowledge.knowledge_base import KnowledgeBase
 from repro.llm.client import LLMClient
 from repro.llm.prompts import PromptBuilder
+from repro.obs.tracing import NULL_SPAN, Span, get_tracer
 from repro.router.router import SmartRouter
 from repro.service.api import (
     ExplainRequest,
@@ -53,6 +54,10 @@ def _completed(result: ExplainResult) -> "Future[ExplainResult]":
     future: "Future[ExplainResult]" = Future()
     future.set_result(result)
     return future
+
+
+#: Root span name for one served request; ``repro-trace`` trees hang off it.
+ROOT_SPAN_NAME = "service.explain"
 
 
 class ExplanationService:
@@ -151,19 +156,27 @@ class ExplanationService:
             ),
         )
         self.metrics.counter("requests.submitted").increment()
+        tracer = get_tracer()
+        root = tracer.span(ROOT_SPAN_NAME, root=True, request_id=request.request_id)
         if self._closed:
             self.metrics.counter("requests.rejected_closed").increment()
+            self._reject_span(root, ServiceErrorCode.SERVICE_CLOSED)
             return _completed(
                 ExplainResult.rejection(
                     request.request_id, ServiceErrorCode.SERVICE_CLOSED, "service is shut down"
                 )
             )
         cache_key = request_cache_key(sql, user_notes, self.explainer.top_k)
-        cached = self.cache.explanations.get(cache_key)
+        with tracer.attach(root):
+            with tracer.span("cache.l1_lookup") as lookup:
+                cached = self.cache.explanations.get(cache_key)
+                lookup.set_attribute("hit", cached is not None)
         if cached is not None:
             self.metrics.counter("requests.ok").increment()
             total = time.perf_counter() - request.submitted_at
             self.metrics.histogram("latency.warm_seconds").record(total)
+            root.set_attributes(status="ok", cache="l1_hit")
+            root.end()
             return _completed(
                 ExplainResult(
                     request_id=request.request_id,
@@ -176,6 +189,7 @@ class ExplanationService:
         with self._admission_lock:
             if self._in_flight >= self.max_in_flight:
                 self.metrics.counter("requests.shed").increment()
+                self._reject_span(root, ServiceErrorCode.QUEUE_FULL)
                 return _completed(
                     ExplainResult.rejection(
                         request.request_id,
@@ -185,7 +199,7 @@ class ExplanationService:
                 )
             self._in_flight += 1
         try:
-            return self._executor.submit(self._process_guarded, request, cache_key)
+            return self._executor.submit(self._process_guarded, request, cache_key, root)
         except RuntimeError:
             # shutdown() raced us between the _closed check and the executor
             # submit; release the admission slot and reject like any other
@@ -193,11 +207,25 @@ class ExplanationService:
             with self._admission_lock:
                 self._in_flight -= 1
             self.metrics.counter("requests.rejected_closed").increment()
+            self._reject_span(root, ServiceErrorCode.SERVICE_CLOSED)
             return _completed(
                 ExplainResult.rejection(
                     request.request_id, ServiceErrorCode.SERVICE_CLOSED, "service is shut down"
                 )
             )
+
+    def _reject_span(self, root: "Span", code: ServiceErrorCode) -> None:
+        """Tag and close a root span for a request the service refused.
+
+        Every refusal — shed on a full queue, an expired deadline, a
+        post-shutdown submit — increments a per-reason counter
+        (``requests.rejected.<reason>``) and stamps the reason on the
+        root span so shed traffic is visible both in the metrics
+        exposition and in individual traces.
+        """
+        self.metrics.counter(f"requests.rejected.{code.value}").increment()
+        root.set_attributes(status="rejected", rejected_reason=code.value)
+        root.end()
 
     def explain(
         self,
@@ -215,11 +243,18 @@ class ExplanationService:
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------ worker
-    def _process_guarded(self, request: ExplainRequest, cache_key: str) -> ExplainResult:
+    def _process_guarded(
+        self, request: ExplainRequest, cache_key: str, root: "Span" = NULL_SPAN
+    ) -> ExplainResult:
+        # Re-enter the root span on this worker thread: it was opened on the
+        # submitting thread, and contextvars do not follow work into a pool,
+        # so without the attach every stage span below would be orphaned.
         try:
-            result = self._process(request, cache_key)
+            with get_tracer().attach(root):
+                result = self._process(request, cache_key, root)
         except Exception as exc:  # noqa: BLE001 - typed result, never raise
             self.metrics.counter("requests.failed").increment()
+            root.set_attributes(status="failed", error=type(exc).__name__)
             result = ExplainResult.failure(
                 request.request_id,
                 ServiceErrorCode.INTERNAL_ERROR,
@@ -229,14 +264,24 @@ class ExplanationService:
         finally:
             with self._admission_lock:
                 self._in_flight -= 1
+            root.end()
         return result
 
-    def _process(self, request: ExplainRequest, cache_key: str) -> ExplainResult:
+    def _process(
+        self, request: ExplainRequest, cache_key: str, root: "Span" = NULL_SPAN
+    ) -> ExplainResult:
         started = time.perf_counter()
         queue_seconds = started - request.submitted_at
         self.metrics.histogram("latency.queue_seconds").record(queue_seconds)
+        root.set_attribute("queue_seconds", round(queue_seconds, 6))
         if request.expired(started):
             self.metrics.counter("requests.deadline_exceeded").increment()
+            self.metrics.counter(
+                f"requests.rejected.{ServiceErrorCode.DEADLINE_EXCEEDED.value}"
+            ).increment()
+            root.set_attributes(
+                status="rejected", rejected_reason=ServiceErrorCode.DEADLINE_EXCEEDED.value
+            )
             return ExplainResult.failure(
                 request.request_id,
                 ServiceErrorCode.DEADLINE_EXCEEDED,
@@ -247,11 +292,15 @@ class ExplanationService:
             )
         # A twin request may have populated the explanation cache while this
         # one waited for a worker.
-        cached = self.cache.explanations.get(cache_key)
+        tracer = get_tracer()
+        with tracer.span("cache.l1_lookup") as lookup:
+            cached = self.cache.explanations.get(cache_key)
+            lookup.set_attribute("hit", cached is not None)
         if cached is not None:
             self.metrics.counter("requests.ok").increment()
             total = time.perf_counter() - request.submitted_at
             self.metrics.histogram("latency.warm_seconds").record(total)
+            root.set_attributes(status="ok", cache="l1_hit")
             return ExplainResult(
                 request_id=request.request_id,
                 status=RequestStatus.OK,
@@ -267,21 +316,31 @@ class ExplanationService:
         # stale result must not be re-inserted after the clear.
         plan_epoch = self.cache.plans.epoch
         explanation_epoch = self.cache.explanations.epoch
-        plan_entry = self.cache.plans.get(plan_key)
+        with tracer.span("cache.l2_lookup") as lookup:
+            plan_entry = self.cache.plans.get(plan_key)
+            lookup.set_attribute("hit", plan_entry is not None)
         encode_seconds = 0.0
         if plan_entry is None:
             execution: QueryExecution = self.system.run_both(request.sql)
             encode_start = time.perf_counter()
-            embedding = self.batcher.encode(execution.plan_pair)
+            with tracer.span("pipeline.encode", batched=True):
+                embedding = self.batcher.encode(execution.plan_pair)
             encode_seconds = time.perf_counter() - encode_start
             self.cache.plans.put(plan_key, (execution, embedding), epoch=plan_epoch)
             plan_cache_hit = False
         else:
             execution, embedding = plan_entry
             plan_cache_hit = True
+        root.set_attribute("cache.l2_hit", plan_cache_hit)
 
         if request.expired():
             self.metrics.counter("requests.deadline_exceeded").increment()
+            self.metrics.counter(
+                f"requests.rejected.{ServiceErrorCode.DEADLINE_EXCEEDED.value}"
+            ).increment()
+            root.set_attributes(
+                status="rejected", rejected_reason=ServiceErrorCode.DEADLINE_EXCEEDED.value
+            )
             elapsed = time.perf_counter() - request.submitted_at
             return ExplainResult.failure(
                 request.request_id,
@@ -305,6 +364,7 @@ class ExplanationService:
         self.metrics.counter("requests.ok").increment()
         total = time.perf_counter() - request.submitted_at
         self.metrics.histogram("latency.cold_seconds").record(total)
+        root.set_attributes(status="ok")
         return ExplainResult(
             request_id=request.request_id,
             status=RequestStatus.OK,

@@ -36,6 +36,7 @@ def test_summarize_shape_and_values():
     summary = summarize([3.0, 1.0, 2.0])
     assert summary == {
         "count": 3,
+        "sum": 6.0,
         "mean": 2.0,
         "min": 1.0,
         "p50": 2.0,
@@ -43,7 +44,9 @@ def test_summarize_shape_and_values():
         "p99": 3.0,
         "max": 3.0,
     }
-    assert summarize([])["count"] == 0
+    empty = summarize([])
+    assert empty["count"] == 0
+    assert empty["sum"] == 0.0
 
 
 def test_histogram_agrees_with_shared_convention():

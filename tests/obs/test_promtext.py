@@ -1,0 +1,67 @@
+"""Prometheus text exposition of metrics snapshots."""
+
+from __future__ import annotations
+
+from repro.obs.promtext import merged_exposition, metric_name, render_prometheus
+from repro.service.metrics import MetricsRegistry
+
+
+def test_metric_name_sanitization():
+    assert metric_name("requests.ok") == "repro_requests_ok"
+    assert metric_name("latency.p95-ms") == "repro_latency_p95_ms"
+    assert metric_name("stage.kb.search") == "repro_stage_kb_search"
+    # leading digits are guarded after namespace stripping
+    assert metric_name("9lives", namespace="") == "_9lives"
+
+
+def test_counter_and_gauge_rendering():
+    text = render_prometheus({"requests.ok": 7, "hit_rate": 0.25})
+    assert "# TYPE repro_requests_ok counter" in text
+    assert "repro_requests_ok 7" in text
+    assert "# TYPE repro_hit_rate gauge" in text
+    assert "repro_hit_rate 0.25" in text
+
+
+def test_summary_rendering_with_quantiles_count_and_sum():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency.cold_seconds")
+    for value in (0.1, 0.2, 0.3, 0.4):
+        histogram.record(value)
+    text = render_prometheus(registry.snapshot())
+    assert "# TYPE repro_latency_cold_seconds summary" in text
+    assert 'repro_latency_cold_seconds{quantile="0.5"} 0.2' in text
+    assert 'repro_latency_cold_seconds{quantile="0.95"} 0.4' in text
+    assert 'repro_latency_cold_seconds{quantile="0.99"} 0.4' in text
+    assert "repro_latency_cold_seconds_count 4" in text
+    assert "repro_latency_cold_seconds_sum 1.0" in text
+    assert "repro_latency_cold_seconds_min 0.1" in text
+    assert "repro_latency_cold_seconds_max 0.4" in text
+    assert "repro_latency_cold_seconds_mean 0.25" in text
+
+
+def test_nested_dicts_flatten_and_strings_are_skipped():
+    snapshot = {
+        "cache": {"explanations": {"hit_rate": 0.5, "size": 3, "name": "lru"}},
+        "status": "ok",
+    }
+    text = render_prometheus(snapshot)
+    assert "repro_cache_explanations_hit_rate 0.5" in text
+    assert "repro_cache_explanations_size 3" in text
+    assert "lru" not in text
+    assert "status" not in text
+
+
+def test_booleans_are_not_counters():
+    text = render_prometheus({"enabled": True})
+    assert "repro_enabled" not in text
+
+
+def test_merged_exposition_later_snapshot_wins():
+    text = merged_exposition({"requests": 1, "only_a": 2}, {"requests": 5})
+    assert "repro_requests 5" in text
+    assert "repro_only_a 2" in text
+    assert "repro_requests 1" not in text
+
+
+def test_exposition_ends_with_newline():
+    assert render_prometheus({"x": 1}).endswith("\n")

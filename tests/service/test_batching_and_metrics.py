@@ -68,11 +68,13 @@ def test_histogram_percentiles():
         histogram.record(value / 100.0)
     summary = histogram.summary()
     assert summary["count"] == 100
+    assert summary["min"] == 0.01
     assert summary["p50"] == 0.50
     assert summary["p95"] == 0.95
     assert summary["p99"] == 0.99
     assert summary["max"] == 1.0
     assert abs(summary["mean"] - 0.505) < 1e-9
+    assert abs(summary["sum"] - 50.5) < 1e-9
 
 
 def test_histogram_bounded_memory():
@@ -90,9 +92,62 @@ def test_histogram_bounded_memory():
 def test_empty_histogram_summary():
     assert LatencyHistogram().summary() == {
         "count": 0,
+        "sum": 0.0,
         "mean": 0.0,
+        "min": 0.0,
         "p50": 0.0,
         "p95": 0.0,
         "p99": 0.0,
         "max": 0.0,
     }
+
+
+def test_histogram_min_survives_ring_overwrite():
+    """``min`` is all-time, not window-bound: the smallest sample must
+    still be reported after the ring has overwritten it."""
+    histogram = LatencyHistogram(max_samples=4)
+    histogram.record(0.001)
+    for value in range(10, 20):
+        histogram.record(float(value))
+    summary = histogram.summary()
+    assert summary["min"] == 0.001
+    assert summary["max"] == 19.0
+
+
+def test_snapshot_under_concurrent_writers():
+    """Satellite: snapshot() racing 16 writer threads must never raise or
+    return malformed summaries (the sorted-cache is invalidated by record
+    and rebuilt by summary under the same per-histogram lock)."""
+    registry = MetricsRegistry()
+    names = [f"stage.s{i}" for i in range(4)]
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer(seed: int) -> None:
+        value = float(seed + 1)
+        try:
+            while not stop.is_set():
+                registry.histogram(names[seed % len(names)]).record(value)
+                registry.counter("writes").increment()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(16)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            snapshot = registry.snapshot()
+            for name in names:
+                summary = snapshot.get(name)
+                if summary is None:  # histogram not created yet
+                    continue
+                assert summary["count"] >= 1
+                assert summary["min"] <= summary["p50"] <= summary["max"]
+                assert summary["sum"] >= summary["max"]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    assert not errors
+    assert registry.snapshot()["writes"] > 0
