@@ -19,7 +19,11 @@ export one ``BENCH_<suite>.json`` per suite:
   encode / retrieve / generate) of cold served requests, measured from
   the tracing subsystem's span trees (:mod:`repro.obs.tracing`) rather
   than ad-hoc timers, so the committed baseline also regression-tests
-  the instrumentation itself.
+  the instrumentation itself;
+* ``cold_path`` — the vectorized encode/retrieve hot path in isolation:
+  uncached end-to-end request latency plus the encode and retrieve stage
+  series, with the featurize/forward split and the kernel-batch counters
+  pulled from span attributes.
 
 This module imports :mod:`repro.service` and is therefore *not* re-exported
 from ``repro.bench.__init__`` — the serving layer itself depends on
@@ -357,6 +361,102 @@ class StageBreakdownStrategy(ExperimentStrategy):
         )
 
 
+class ColdPathStrategy(ExperimentStrategy):
+    """The uncached encode/retrieve hot path, isolated and span-verified.
+
+    Every request in every run is cold: each run drives a fresh
+    :class:`ExplanationService` (fresh caches) over distinct SQL, so the
+    ``uncached_seconds`` series measures the full parse → optimize →
+    execute → encode → retrieve → generate path with no cache shortcuts.
+    The encode and retrieve stage series come from the span trees, and the
+    ``router.embed_batch`` / ``kb.search`` span attributes supply the
+    featurize/forward split and the batched-kernel accounting — so the
+    committed baseline gates both the speed of the vectorized kernels and
+    the instrumentation that proves they ran.
+    """
+
+    name = "cold_path"
+
+    #: The hot-path stages this suite gates; missing spans fail the run.
+    STAGES: tuple[str, ...] = ("pipeline.encode", "pipeline.retrieve")
+
+    def __init__(self, requests: int = 16, max_workers: int = 4):
+        self.requests = requests
+        self.max_workers = max_workers
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=2, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sqls = [labeled.sql for labeled in context.harness.dataset.test[: self.requests]]
+        if not sqls:
+            raise ValueError("test set is empty; cannot measure the cold path")
+        context.state["sqls"] = sqls
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        from repro.obs.store import TraceStore, stage_durations
+        from repro.obs.tracing import traced
+
+        harness = context.harness
+        sqls: list[str] = context.state["sqls"]
+        store = TraceStore(max_slow=4, max_recent=len(sqls) + 4)
+        with traced(store=store):
+            service = ExplanationService(
+                harness.system,
+                harness.router,
+                harness.knowledge_base,
+                harness.llm,
+                top_k=harness.top_k,
+                max_workers=self.max_workers,
+            )
+            try:
+                uncached_seconds: list[float] = []
+                for sql in sqls:
+                    start = time.perf_counter()
+                    result = service.explain(sql)
+                    uncached_seconds.append(time.perf_counter() - start)
+                    if not result.ok:
+                        raise RuntimeError(f"cold request failed: {result.error}")
+                    if result.cache_hit or result.plan_cache_hit:
+                        raise RuntimeError(f"request was not cold: {sql!r}")
+            finally:
+                service.shutdown()
+        traces = store.traces()
+        pooled = stage_durations(traces)
+        missing = [stage for stage in self.STAGES if not pooled.get(stage)]
+        if missing:
+            raise RuntimeError(f"stages missing from traces: {', '.join(missing)}")
+        featurize: list[float] = []
+        forward: list[float] = []
+        kernel_batches = 0
+        vectors_scored = 0
+        for trace in traces:
+            for span in trace.find("router.embed_batch"):
+                featurize.append(float(span.attributes.get("featurize_seconds", 0.0)))
+                forward.append(float(span.attributes.get("forward_seconds", 0.0)))
+            for span in trace.find("kb.search"):
+                kernel_batches += int(span.attributes.get("kernel_batches", 0))
+                vectors_scored += int(span.attributes.get("vectors_scored", 0))
+        if not featurize:
+            raise RuntimeError("no router.embed_batch spans carried featurization timings")
+        metrics: dict[str, Any] = {
+            "uncached_seconds": uncached_seconds,
+            "featurize_seconds": featurize,
+            "forward_seconds": forward,
+        }
+        for stage in self.STAGES:
+            metrics[f"stage_seconds.{stage}"] = pooled[stage]
+        return RunResult(
+            metrics=metrics,
+            counters={
+                "traced_requests": len(traces),
+                "kernel_batches": kernel_batches,
+                "vectors_scored": vectors_scored,
+            },
+            operations=len(sqls),
+        )
+
+
 def build_suites(
     only: tuple[str, ...] | None = None,
 ) -> dict[str, ExperimentStrategy]:
@@ -367,6 +467,7 @@ def build_suites(
         KBScalingStrategy(),
         ServiceThroughputStrategy(),
         StageBreakdownStrategy(),
+        ColdPathStrategy(),
     )
     registry = {strategy.name: strategy for strategy in strategies}
     if only is None:

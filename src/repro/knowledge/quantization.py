@@ -1,0 +1,74 @@
+"""Symmetric int8 quantization for cached embeddings.
+
+The serving layer's L2 cache stores one float64 embedding per distinct SQL
+fingerprint.  At 16 dimensions that is 128 bytes per entry — modest, but
+the cache is sized in the tens of thousands of entries and the embeddings
+are by far its largest payload after the plan objects.  Quantizing to int8
+with one float scale per vector cuts the embedding payload 8× (16 bytes of
+codes + one scale), trading a bounded amount of precision: the worst-case
+reconstruction error per component is ``scale / 2 = max|x| / 254``.
+
+The codec is *symmetric* (zero maps to zero, codes span ``[-127, 127]``),
+the standard scheme for activation quantization: it needs no zero-point
+arithmetic on decode, and retrieval quality degrades gracefully — the
+recall@5 equivalence test in ``tests/knowledge/test_quantization.py`` holds
+it to ≥ 0.95 against the float64 path.
+
+Opt in through ``ServiceConfig(quantize_embedding_cache=True)``; entries
+are dequantized on hit, so everything downstream of the cache still sees
+float64 arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Largest code magnitude; -128 is unused so the range stays symmetric.
+_CODE_PEAK = 127
+
+
+@dataclass(frozen=True)
+class QuantizedVector:
+    """An int8-quantized vector: codes plus one reconstruction scale.
+
+    ``dequantize`` reconstructs ``codes * scale`` as float64.  A zero
+    vector quantizes to ``scale == 0.0`` and reconstructs exactly.
+    """
+
+    codes: np.ndarray  # int8, shape (d,)
+    scale: float
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the stored representation (codes + scale)."""
+        return int(self.codes.nbytes) + 8
+
+    def dequantize(self) -> np.ndarray:
+        return self.codes.astype(np.float64) * self.scale
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst-case per-component reconstruction error (half a step)."""
+        return self.scale / 2.0
+
+
+def quantize_vector(vector: np.ndarray) -> QuantizedVector:
+    """Symmetric int8 quantization: ``scale = max|x| / 127``, round to nearest."""
+    array = np.asarray(vector, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("only 1-D vectors can be quantized")
+    peak = float(np.max(np.abs(array))) if array.size else 0.0
+    if peak == 0.0 or not np.isfinite(peak):
+        if not np.isfinite(peak):
+            raise ValueError("cannot quantize a vector with non-finite components")
+        return QuantizedVector(codes=np.zeros(array.shape, dtype=np.int8), scale=0.0)
+    scale = peak / _CODE_PEAK
+    codes = np.clip(np.rint(array / scale), -_CODE_PEAK, _CODE_PEAK).astype(np.int8)
+    return QuantizedVector(codes=codes, scale=scale)
+
+
+def dequantize_vector(quantized: QuantizedVector) -> np.ndarray:
+    """Reconstruct the float64 vector from its int8 codes."""
+    return quantized.dequantize()

@@ -12,6 +12,16 @@ Two interchangeable implementations:
 
 Both support cosine and Euclidean distances and deletion by id (needed for
 the stale-entry expiry policies).
+
+Distance math runs through one shared matrix kernel,
+:meth:`VectorStore.pairwise_distances`: cosine is a single matvec against
+precomputed row norms, Euclidean uses the ``‖a‖² + ‖b‖² − 2a·b`` identity.
+The flat store keeps its vectors in a contiguous cached matrix (rebuilt
+lazily behind a dirty flag), and the HNSW store scores each candidate
+frontier with one batched kernel call instead of per-neighbor python
+distance calls — that is what makes its promised scaling hold in practice.
+The original scalar path is retained behind ``use_batched_kernels=False``
+so equivalence tests can diff both implementations on the same graph.
 """
 
 from __future__ import annotations
@@ -80,6 +90,37 @@ class VectorStore:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    # -- shared matrix distance kernel ----------------------------------------
+    def pairwise_distances(
+        self,
+        query: np.ndarray,
+        matrix: np.ndarray,
+        *,
+        row_norms: np.ndarray | None = None,
+        row_sq_norms: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Distances from ``query`` to every row of ``matrix``, one kernel call.
+
+        Cosine runs as one matvec over precomputed row norms (zero vectors
+        stay maximally distant, matching :func:`cosine_distance`); Euclidean
+        uses the ``‖a‖² + ‖b‖² − 2a·b`` identity so the only O(n·d) work is
+        the same single matvec.  Pass ``row_norms`` / ``row_sq_norms`` when
+        the caller caches them; otherwise they are derived on the fly.
+        """
+        products = matrix @ query
+        if self.metric == "cosine":
+            if row_norms is None:
+                row_norms = np.linalg.norm(matrix, axis=1)
+            denominator = row_norms * (float(np.linalg.norm(query)) or 1.0)
+            # Zero-norm rows produce a 0/denominator similarity of 0, i.e.
+            # a distance of 1.0 — but guard against 0 denominators anyway.
+            safe = np.where(denominator == 0.0, 1.0, denominator)
+            return 1.0 - products / safe
+        if row_sq_norms is None:
+            row_sq_norms = np.einsum("ij,ij->i", matrix, matrix)
+        squared = row_sq_norms + float(query @ query) - 2.0 * products
+        return np.sqrt(np.maximum(squared, 0.0))
+
     # -- shared helpers -------------------------------------------------------
     def add_many(self, items: Iterable[tuple[str, np.ndarray]]) -> None:
         for key, vector in items:
@@ -94,13 +135,24 @@ class VectorStore:
 
 
 class FlatVectorStore(VectorStore):
-    """Exact nearest-neighbour search by scanning all vectors."""
+    """Exact nearest-neighbour search by scanning all vectors.
+
+    Vectors live in a contiguous cached matrix with precomputed norms, so
+    each query is one kernel call; ``add`` / ``remove`` only mark the cache
+    dirty and the matrix is rebuilt lazily on the next search.  ``remove``
+    is O(1): the last vector swaps into the vacated slot, which is safe
+    because result order comes from distances, not insertion positions.
+    """
 
     def __init__(self, metric: str = "cosine"):
         super().__init__(metric)
         self._keys: list[str] = []
         self._vectors: list[np.ndarray] = []
         self._index_of: dict[str, int] = {}
+        self._matrix: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._sq_norms: np.ndarray | None = None
+        self._dirty = True
 
     def add(self, key: str, vector: np.ndarray) -> None:
         if key in self._index_of:
@@ -108,16 +160,30 @@ class FlatVectorStore(VectorStore):
         self._index_of[key] = len(self._keys)
         self._keys.append(key)
         self._vectors.append(_as_matrix(vector))
+        self._dirty = True
 
     def remove(self, key: str) -> None:
         if key not in self._index_of:
             raise KeyError(f"unknown key {key!r}")
         index = self._index_of.pop(key)
-        self._keys.pop(index)
-        self._vectors.pop(index)
-        # Re-number the remaining keys after the removed position.
-        for position in range(index, len(self._keys)):
-            self._index_of[self._keys[position]] = position
+        last = len(self._keys) - 1
+        if index != last:
+            # Swap-with-last: O(1) instead of shifting and re-numbering
+            # every key after the removed position.
+            self._keys[index] = self._keys[last]
+            self._vectors[index] = self._vectors[last]
+            self._index_of[self._keys[index]] = index
+        self._keys.pop()
+        self._vectors.pop()
+        self._dirty = True
+
+    def _ensure_matrix(self) -> None:
+        if not self._dirty and self._matrix is not None:
+            return
+        self._matrix = np.vstack(self._vectors)
+        self._norms = np.linalg.norm(self._matrix, axis=1)
+        self._sq_norms = np.einsum("ij,ij->i", self._matrix, self._matrix)
+        self._dirty = False
 
     def search(self, vector: np.ndarray, k: int) -> list[SearchResult]:
         if k <= 0 or not self._keys:
@@ -126,20 +192,18 @@ class FlatVectorStore(VectorStore):
             "kb.search", store="flat", candidates_scanned=len(self._keys)
         ) as span:
             query = _as_matrix(vector)
-            matrix = np.vstack(self._vectors)
-            if self.metric == "cosine":
-                norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) or 1.0)
-                norms[norms == 0.0] = 1.0
-                similarities = matrix @ query / norms
-                distances = 1.0 - similarities
-            else:
-                distances = np.linalg.norm(matrix - query, axis=1)
+            self._ensure_matrix()
+            distances = self.pairwise_distances(
+                query, self._matrix, row_norms=self._norms, row_sq_norms=self._sq_norms
+            )
             order = np.argsort(distances, kind="stable")[:k]
             results = [
                 SearchResult(key=self._keys[int(i)], distance=float(distances[int(i)]))
                 for i in order
             ]
-            span.set_attribute("hits", len(results))
+            span.set_attributes(
+                hits=len(results), kernel_batches=1, vectors_scored=len(self._keys)
+            )
             return results
 
     def keys(self) -> list[str]:
@@ -167,6 +231,16 @@ class _HNSWNode:
         return len(self.neighbors) - 1
 
 
+class _KernelCounters:
+    """Per-search accounting surfaced as ``kb.search`` span attributes."""
+
+    __slots__ = ("kernel_batches", "vectors_scored")
+
+    def __init__(self) -> None:
+        self.kernel_batches = 0
+        self.vectors_scored = 0
+
+
 class HNSWVectorStore(VectorStore):
     """Hierarchical Navigable Small World approximate nearest-neighbour index.
 
@@ -176,6 +250,13 @@ class HNSWVectorStore(VectorStore):
     Deletions are handled by tombstoning (deleted nodes are skipped in
     results but still used for graph navigation), which is how most
     production HNSW implementations behave.
+
+    With ``use_batched_kernels`` (the default) each candidate frontier —
+    the unvisited neighbours of the node being expanded — is scored with a
+    single :meth:`pairwise_distances` call against a contiguous vector
+    matrix, instead of one python-level distance call per neighbour.
+    Setting it to ``False`` restores the scalar reference path; both run
+    on the same graph, so equivalence tests can compare them directly.
     """
 
     def __init__(
@@ -186,6 +267,7 @@ class HNSWVectorStore(VectorStore):
         ef_construction: int = 64,
         ef_search: int = 32,
         seed: int = 42,
+        use_batched_kernels: bool = True,
     ):
         super().__init__(metric)
         if M < 2:
@@ -194,12 +276,18 @@ class HNSWVectorStore(VectorStore):
         self.max_M0 = 2 * M
         self.ef_construction = max(ef_construction, M)
         self.ef_search = max(ef_search, 1)
+        self.use_batched_kernels = use_batched_kernels
         self._level_multiplier = 1.0 / math.log(M)
         self._rng = random.Random(seed)
         self._nodes: list[_HNSWNode] = []
         self._id_of: dict[str, int] = {}
         self._entry_point: int | None = None
         self._live_count = 0
+        # Contiguous copy of every node's vector (plus cached norms), grown
+        # by doubling, so frontier scoring is a fancy-index + one matvec.
+        self._matrix: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._sq_norms: np.ndarray | None = None
 
     # ------------------------------------------------------------------ basic
     def keys(self) -> list[str]:
@@ -212,6 +300,42 @@ class HNSWVectorStore(VectorStore):
     def __len__(self) -> int:
         return self._live_count
 
+    # ----------------------------------------------------------------- matrix
+    def _append_vector(self, vector: np.ndarray) -> None:
+        count = len(self._nodes)
+        if self._matrix is None:
+            capacity = 64
+            self._matrix = np.zeros((capacity, vector.shape[0]), dtype=np.float64)
+            self._norms = np.zeros(capacity, dtype=np.float64)
+            self._sq_norms = np.zeros(capacity, dtype=np.float64)
+        elif vector.shape[0] != self._matrix.shape[1]:
+            raise ValueError(
+                f"vector has {vector.shape[0]} dimensions; store holds "
+                f"{self._matrix.shape[1]}-dimensional vectors"
+            )
+        if count >= self._matrix.shape[0]:
+            capacity = self._matrix.shape[0] * 2
+            self._matrix = np.resize(self._matrix, (capacity, self._matrix.shape[1]))
+            self._norms = np.resize(self._norms, capacity)
+            self._sq_norms = np.resize(self._sq_norms, capacity)
+        self._matrix[count] = vector
+        sq = float(vector @ vector)
+        self._sq_norms[count] = sq
+        self._norms[count] = math.sqrt(sq)
+
+    def _frontier_distances(self, query: np.ndarray, ids: list[int], counters: _KernelCounters | None = None) -> np.ndarray:
+        """Distances from ``query`` to the given node ids in one kernel call."""
+        index = np.asarray(ids, dtype=np.int64)
+        if counters is not None:
+            counters.kernel_batches += 1
+            counters.vectors_scored += len(ids)
+        return self.pairwise_distances(
+            query,
+            self._matrix[index],
+            row_norms=self._norms[index],
+            row_sq_norms=self._sq_norms[index],
+        )
+
     # -------------------------------------------------------------------- add
     def add(self, key: str, vector: np.ndarray) -> None:
         if key in self._id_of:
@@ -220,6 +344,7 @@ class HNSWVectorStore(VectorStore):
         level = self._random_level()
         node = _HNSWNode(key, vector, level)
         node_id = len(self._nodes)
+        self._append_vector(vector)
         self._nodes.append(node)
         self._id_of[key] = node_id
         self._live_count += 1
@@ -268,10 +393,15 @@ class HNSWVectorStore(VectorStore):
         return ranked[:limit]
 
     def _shrink_neighbors(self, node: _HNSWNode, layer: int, limit: int) -> list[int]:
-        scored = [
-            (self._distance(node.vector, self._nodes[other].vector), other)
-            for other in node.neighbors[layer]
-        ]
+        neighbor_ids = node.neighbors[layer]
+        if self.use_batched_kernels:
+            distances = self._frontier_distances(node.vector, neighbor_ids)
+            scored = list(zip(distances.tolist(), neighbor_ids))
+        else:
+            scored = [
+                (self._distance(node.vector, self._nodes[other].vector), other)
+                for other in neighbor_ids
+            ]
         scored.sort()
         return [other for _dist, other in scored[:limit]]
 
@@ -281,30 +411,41 @@ class HNSWVectorStore(VectorStore):
             return []
         with get_tracer().span("kb.search", store="hnsw") as span:
             query = _as_matrix(vector)
+            counters = _KernelCounters()
             # Tombstoned nodes still occupy slots in the ef candidate list, so a
             # store with D deletions would otherwise return fewer than k live
             # hits.  Inflate ef by the tombstone count, and fall back to an
             # exhaustive ef if the inflated pass still comes up short.
             tombstones = len(self._nodes) - self._live_count
             ef = max(self.ef_search, k) + tombstones
-            results, scanned = self._search_with_ef(query, k, ef)
+            results, scanned = self._search_with_ef(query, k, ef, counters)
             if len(results) < min(k, self._live_count) and ef < len(self._nodes):
-                results, fallback_scanned = self._search_with_ef(query, k, len(self._nodes))
+                results, fallback_scanned = self._search_with_ef(
+                    query, k, len(self._nodes), counters
+                )
                 scanned += fallback_scanned
             span.set_attributes(
                 ef=ef,
                 tombstones=tombstones,
                 candidates_scanned=scanned,
                 hits=len(results),
+                kernel_batches=counters.kernel_batches,
+                vectors_scored=counters.vectors_scored,
             )
             return results
 
-    def _search_with_ef(self, query: np.ndarray, k: int, ef: int) -> tuple[list[SearchResult], int]:
+    def _search_with_ef(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int,
+        counters: _KernelCounters | None = None,
+    ) -> tuple[list[SearchResult], int]:
         """One full descent + layer-0 expansion; returns (hits, nodes visited)."""
         current = self._entry_point
         for layer in range(self._nodes[current].max_level, 0, -1):
-            current = self._greedy_search(query, current, layer)
-        candidates, scanned = self._search_layer(query, [current], 0, ef)
+            current = self._greedy_search(query, current, layer, counters)
+        candidates, scanned = self._search_layer(query, [current], 0, ef, counters)
         candidates.sort()
         results: list[SearchResult] = []
         for distance, node_id in candidates:
@@ -316,39 +457,89 @@ class HNSWVectorStore(VectorStore):
                 break
         return results, scanned
 
-    def _greedy_search(self, query: np.ndarray, start: int, layer: int) -> int:
+    def _greedy_search(
+        self,
+        query: np.ndarray,
+        start: int,
+        layer: int,
+        counters: _KernelCounters | None = None,
+    ) -> int:
         current = start
-        current_distance = self._distance(query, self._nodes[current].vector)
+        current_distance = self._node_distance(query, current)
         improved = True
         while improved:
             improved = False
-            for neighbor_id in self._nodes[current].neighbors[layer]:
-                distance = self._distance(query, self._nodes[neighbor_id].vector)
-                if distance < current_distance:
-                    current, current_distance = neighbor_id, distance
+            neighbor_ids = self._nodes[current].neighbors[layer]
+            if not neighbor_ids:
+                break
+            if self.use_batched_kernels:
+                distances = self._frontier_distances(query, neighbor_ids, counters)
+                best = int(np.argmin(distances))
+                if distances[best] < current_distance:
+                    current = neighbor_ids[best]
+                    current_distance = float(distances[best])
                     improved = True
+            else:
+                for neighbor_id in neighbor_ids:
+                    distance = self._distance(query, self._nodes[neighbor_id].vector)
+                    if distance < current_distance:
+                        current, current_distance = neighbor_id, distance
+                        improved = True
         return current
 
+    def _node_distance(self, query: np.ndarray, node_id: int) -> float:
+        if self.use_batched_kernels:
+            return float(self._frontier_distances(query, [node_id])[0])
+        return self._distance(query, self._nodes[node_id].vector)
+
     def _search_layer(
-        self, query: np.ndarray, entry_points: list[int], layer: int, ef: int
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        layer: int,
+        ef: int,
+        counters: _KernelCounters | None = None,
     ) -> tuple[list[tuple[float, int]], int]:
-        """Beam search on one layer; returns (candidates, distinct nodes visited)."""
+        """Beam search on one layer; returns (candidates, distinct nodes visited).
+
+        Each frontier expansion — the unvisited neighbours of the popped
+        candidate — is scored in one batched kernel call when
+        ``use_batched_kernels`` is set.
+        """
         visited = set(entry_points)
         candidates: list[tuple[float, int]] = []
         best: list[tuple[float, int]] = []  # max-heap via negated distance
-        for point in entry_points:
-            distance = self._distance(query, self._nodes[point].vector)
+        batched = self.use_batched_kernels
+        if batched:
+            entry_distances = self._frontier_distances(query, entry_points, counters)
+        for position, point in enumerate(entry_points):
+            distance = (
+                float(entry_distances[position])
+                if batched
+                else self._distance(query, self._nodes[point].vector)
+            )
             heapq.heappush(candidates, (distance, point))
             heapq.heappush(best, (-distance, point))
         while candidates:
             distance, point = heapq.heappop(candidates)
             if best and distance > -best[0][0]:
                 break
-            for neighbor_id in self._nodes[point].neighbors[layer]:
-                if neighbor_id in visited:
-                    continue
-                visited.add(neighbor_id)
-                neighbor_distance = self._distance(query, self._nodes[neighbor_id].vector)
+            frontier = [
+                neighbor_id
+                for neighbor_id in self._nodes[point].neighbors[layer]
+                if neighbor_id not in visited
+            ]
+            if not frontier:
+                continue
+            visited.update(frontier)
+            if batched:
+                frontier_distances = self._frontier_distances(query, frontier, counters)
+            for position, neighbor_id in enumerate(frontier):
+                neighbor_distance = (
+                    float(frontier_distances[position])
+                    if batched
+                    else self._distance(query, self._nodes[neighbor_id].vector)
+                )
                 if len(best) < ef or neighbor_distance < -best[0][0]:
                     heapq.heappush(candidates, (neighbor_distance, neighbor_id))
                     heapq.heappush(best, (-neighbor_distance, neighbor_id))

@@ -133,24 +133,46 @@ class SmartRouter:
         embedding = self.embed_pair(plan_pair)
         return embedding, time.perf_counter() - start
 
-    def embed_batch(self, plan_pairs: Sequence[PlanPair]) -> np.ndarray:
-        """Embed many plan pairs in one vectorized forward pass.
+    def embed_batch(
+        self,
+        plan_pairs: Sequence[PlanPair],
+        *,
+        timings: dict[str, float] | None = None,
+    ) -> np.ndarray:
+        """Embed many plan pairs in one vectorized pipeline.
 
         Returns a ``(len(plan_pairs), embedding_size)`` array whose rows match
         per-pair :meth:`embed_pair` output.  This is the path the serving
-        layer's micro-batcher drives: featurization stays per-plan, but the
-        convolutions and the dense head each run as a single stacked matmul
-        over the whole batch instead of ``N`` independent passes.
+        layer's micro-batcher drives: every node of every plan is featurized
+        in one :meth:`PlanTensor.from_plans` call, and the convolutions and
+        the dense head each run as a single stacked matmul over the whole
+        batch instead of ``N`` independent passes.
+
+        When ``timings`` is given, ``featurize_seconds`` and
+        ``forward_seconds`` are written into it — the micro-batcher uses
+        this to stamp the same split onto its replayed request spans.
         """
-        with get_tracer().span("router.embed_batch", batch_size=len(plan_pairs)):
-            tensor_pairs = [
-                (
-                    PlanTensor.from_plan(pair.tp_plan, self.featurizer),
-                    PlanTensor.from_plan(pair.ap_plan, self.featurizer),
-                )
-                for pair in plan_pairs
-            ]
-            return self.model.embed_pairs(tensor_pairs)
+        with get_tracer().span("router.embed_batch", batch_size=len(plan_pairs)) as span:
+            featurize_start = time.perf_counter()
+            tp_tensors = PlanTensor.from_plans(
+                [pair.tp_plan for pair in plan_pairs], self.featurizer
+            )
+            ap_tensors = PlanTensor.from_plans(
+                [pair.ap_plan for pair in plan_pairs], self.featurizer
+            )
+            forward_start = time.perf_counter()
+            embeddings = self.model.embed_pairs(list(zip(tp_tensors, ap_tensors)))
+            forward_end = time.perf_counter()
+            featurize_seconds = forward_start - featurize_start
+            forward_seconds = forward_end - forward_start
+            span.set_attributes(
+                featurize_seconds=round(featurize_seconds, 6),
+                forward_seconds=round(forward_seconds, 6),
+            )
+            if timings is not None:
+                timings["featurize_seconds"] = featurize_seconds
+                timings["forward_seconds"] = forward_seconds
+            return embeddings
 
     def timed_embed_batch(self, plan_pairs: Sequence[PlanPair]) -> tuple[np.ndarray, float]:
         """Batched embeddings plus total wall-clock encoding time."""

@@ -12,16 +12,41 @@ triple ``(node, left child, right child)``, exactly as in Bao/Neo.  Plans in
 this system are at most binary (joins have two children, every other
 operator has at most one), so no binarisation tricks are needed; a defensive
 check raises if that invariant is ever violated.
+
+Featurization goes through :meth:`PlanFeaturizer.features_for_nodes`, so
+one tensor costs one array-op pipeline over all its nodes rather than ~F
+small allocations per node; :meth:`PlanTensor.from_plans` extends that to a
+whole batch of plans — every node of every plan is featurized in a single
+call, which is what ``SmartRouter.embed_batch`` drives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.htap.plan.nodes import PlanNode
 from repro.router.features import PlanFeaturizer
+
+
+def _child_indices(nodes: list[PlanNode]) -> tuple[np.ndarray, np.ndarray]:
+    """Left/right child row indices (1-based, 0 = absent) for pre-order nodes."""
+    index_of = {id(node): position + 1 for position, node in enumerate(nodes)}
+    left = np.zeros(len(nodes), dtype=np.int64)
+    right = np.zeros(len(nodes), dtype=np.int64)
+    for position, node in enumerate(nodes):
+        if len(node.children) > 2:
+            raise ValueError(
+                f"plan node {node.node_type.value!r} has {len(node.children)} children; "
+                "the tree convolution expects at most binary trees"
+            )
+        if len(node.children) >= 1:
+            left[position] = index_of[id(node.children[0])]
+        if len(node.children) == 2:
+            right[position] = index_of[id(node.children[1])]
+    return left, right
 
 
 @dataclass
@@ -44,23 +69,37 @@ class PlanTensor:
     def from_plan(cls, plan: PlanNode, featurizer: PlanFeaturizer) -> "PlanTensor":
         """Convert ``plan`` into tensor form using ``featurizer``."""
         nodes = list(plan.walk())
-        index_of = {id(node): position + 1 for position, node in enumerate(nodes)}
-        feature_size = featurizer.feature_size
-        features = np.zeros((len(nodes) + 1, feature_size), dtype=np.float64)
-        left = np.zeros(len(nodes), dtype=np.int64)
-        right = np.zeros(len(nodes), dtype=np.int64)
-        for position, node in enumerate(nodes):
-            features[position + 1] = featurizer.node_features(node)
-            if len(node.children) > 2:
-                raise ValueError(
-                    f"plan node {node.node_type.value!r} has {len(node.children)} children; "
-                    "the tree convolution expects at most binary trees"
-                )
-            if len(node.children) >= 1:
-                left[position] = index_of[id(node.children[0])]
-            if len(node.children) == 2:
-                right[position] = index_of[id(node.children[1])]
+        features = np.zeros((len(nodes) + 1, featurizer.feature_size), dtype=np.float64)
+        features[1:] = featurizer.features_for_nodes(nodes)
+        left, right = _child_indices(nodes)
         return cls(features=features, left=left, right=right)
+
+    @classmethod
+    def from_plans(
+        cls, plans: Sequence[PlanNode], featurizer: PlanFeaturizer
+    ) -> list["PlanTensor"]:
+        """Tensor forms for many plans, featurized in one batched call.
+
+        All plans' nodes are concatenated and pushed through
+        :meth:`PlanFeaturizer.features_for_nodes` once, then split back
+        into per-plan feature matrices; each result matches
+        :meth:`from_plan` exactly.
+        """
+        if not plans:
+            return []
+        node_lists = [list(plan.walk()) for plan in plans]
+        all_nodes = [node for nodes in node_lists for node in nodes]
+        all_features = featurizer.features_for_nodes(all_nodes)
+        tensors: list[PlanTensor] = []
+        cursor = 0
+        for nodes in node_lists:
+            count = len(nodes)
+            features = np.zeros((count + 1, featurizer.feature_size), dtype=np.float64)
+            features[1:] = all_features[cursor : cursor + count]
+            cursor += count
+            left, right = _child_indices(nodes)
+            tensors.append(cls(features=features, left=left, right=right))
+        return tensors
 
     def triples(self) -> np.ndarray:
         """The ``(N, 3F)`` matrix of concatenated (node, left, right) features."""

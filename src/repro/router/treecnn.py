@@ -200,22 +200,19 @@ class TreeCNNClassifier:
         the result is numerically the per-plan ``_forward_plan`` pooling.
         """
         parameters = self.parameters
-        counts = [tensor.node_count for tensor in tensors]
-        total = sum(counts)
-        node_features = np.zeros((total + 1, self.config.feature_size))
-        left = np.zeros(total, dtype=np.int64)
-        right = np.zeros(total, dtype=np.int64)
+        counts = np.array([tensor.node_count for tensor in tensors], dtype=np.int64)
+        total = int(counts.sum())
         starts = np.zeros(len(tensors), dtype=np.int64)
-        cursor = 0
-        for position, tensor in enumerate(tensors):
-            count = counts[position]
-            starts[position] = cursor
-            node_features[1 + cursor : 1 + cursor + count] = tensor.features[1:]
-            # Local child index j >= 1 lives at global row cursor + j; the
-            # local padding index 0 maps to the shared global padding row 0.
-            left[cursor : cursor + count] = np.where(tensor.left > 0, tensor.left + cursor, 0)
-            right[cursor : cursor + count] = np.where(tensor.right > 0, tensor.right + cursor, 0)
-            cursor += count
+        np.cumsum(counts[:-1], out=starts[1:])
+        node_features = np.zeros((total + 1, self.config.feature_size))
+        node_features[1:] = np.concatenate([tensor.features[1:] for tensor in tensors], axis=0)
+        # Local child index j >= 1 lives at global row start + j; the local
+        # padding index 0 maps to the shared global padding row 0.
+        offsets = np.repeat(starts, counts)
+        local_left = np.concatenate([tensor.left for tensor in tensors])
+        local_right = np.concatenate([tensor.right for tensor in tensors])
+        left = np.where(local_left > 0, local_left + offsets, 0)
+        right = np.where(local_right > 0, local_right + offsets, 0)
         triples1 = np.concatenate(
             [node_features[1:], node_features[left], node_features[right]], axis=1
         )

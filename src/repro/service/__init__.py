@@ -27,6 +27,7 @@ from repro.service.api import (
 )
 from repro.service.batching import MicroBatcher
 from repro.service.cache import CacheStats, LRUTTLCache, ServiceCache
+from repro.service.config import ServiceConfig
 from repro.service.fingerprint import normalize_sql, request_cache_key, sql_fingerprint
 from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
 from repro.service.server import ExplanationService
@@ -43,6 +44,7 @@ __all__ = [
     "MicroBatcher",
     "RequestStatus",
     "ServiceCache",
+    "ServiceConfig",
     "ServiceError",
     "ServiceErrorCode",
     "normalize_sql",

@@ -3,11 +3,16 @@
 Under concurrent load, many worker threads need plan-pair embeddings at
 the same time.  Instead of each running its own forward pass, they hand
 their plan pair to the :class:`MicroBatcher`, whose single scheduler
-thread coalesces whatever arrives within a short window (bounded by
-``max_batch_size`` and ``max_wait_seconds``) and drives
+thread coalesces whatever arrives into one call to
 :meth:`SmartRouter.embed_batch` — one stacked forward pass per batch
 instead of N independent ones.  Callers block on a future, so the API
 stays synchronous.
+
+The scheduler flushes *greedily*: after the first request it drains
+whatever is already queued without waiting, so a lone cold request never
+pays the coalescing latency.  Only when that drain proves concurrent
+arrivals (more than one request, batch not yet full) does the scheduler
+hold the batch open for up to ``max_wait_seconds`` to catch stragglers.
 """
 
 from __future__ import annotations
@@ -116,27 +121,37 @@ class MicroBatcher:
             except queue.Empty:
                 continue
             batch = [first]
-            deadline = time.perf_counter() + self.max_wait_seconds
             while len(batch) < self.max_batch_size:
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    # Coalescing window closed; drain whatever is already
-                    # queued without waiting any longer.
-                    try:
-                        batch.append(self._queue.get_nowait())
-                    except queue.Empty:
-                        break
-                else:
-                    try:
-                        batch.append(self._queue.get(timeout=remaining))
-                    except queue.Empty:
-                        break
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if 1 < len(batch) < self.max_batch_size:
+                # Concurrent arrivals observed: hold the batch open for the
+                # coalescing window to catch stragglers.  A lone request
+                # skips this and flushes immediately.
+                deadline = time.perf_counter() + self.max_wait_seconds
+                while len(batch) < self.max_batch_size:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        try:
+                            batch.append(self._queue.get_nowait())
+                        except queue.Empty:
+                            break
+                    else:
+                        try:
+                            batch.append(self._queue.get(timeout=remaining))
+                        except queue.Empty:
+                            break
             self._flush(batch)
 
     def _flush(self, batch: list[_PendingEncode]) -> None:
         flush_start = time.perf_counter()
+        timings: dict[str, float] = {}
         try:
-            embeddings = self.router.embed_batch([item.plan_pair for item in batch])
+            embeddings = self.router.embed_batch(
+                [item.plan_pair for item in batch], timings=timings
+            )
         except Exception as exc:  # pragma: no cover - defensive
             for item in batch:
                 if not item.future.cancelled():
@@ -155,6 +170,8 @@ class MicroBatcher:
                 end_seconds=flush_end,
                 batch_size=len(batch),
                 coalesced=len(batch) > 1,
+                featurize_seconds=round(timings.get("featurize_seconds", 0.0), 6),
+                forward_seconds=round(timings.get("forward_seconds", 0.0), 6),
             )
         self.metrics.counter("batcher.batches").increment()
         self.metrics.counter("batcher.requests").increment(len(batch))

@@ -22,6 +22,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
+from repro.knowledge.quantization import QuantizedVector, quantize_vector
+
 _MISSING = object()
 
 
@@ -175,6 +177,11 @@ class ServiceCache:
     Wire :meth:`on_kb_write` into ``KnowledgeBase.add_write_listener`` and
     :meth:`on_ddl` into ``HTAPSystem.add_ddl_listener``; the service does
     this automatically.
+
+    With ``quantize_embeddings`` the L2 plan entries store their embedding
+    as int8 codes (:mod:`repro.knowledge.quantization`) — ~8× less
+    embedding memory per entry — and :meth:`get_plan` dequantizes on hit,
+    so callers always receive a float64 array.
     """
 
     def __init__(
@@ -184,12 +191,30 @@ class ServiceCache:
         plan_capacity: int = 2048,
         explanation_ttl_seconds: float | None = None,
         plan_ttl_seconds: float | None = None,
+        quantize_embeddings: bool = False,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.explanations = LRUTTLCache(
             explanation_capacity, ttl_seconds=explanation_ttl_seconds, clock=clock
         )
         self.plans = LRUTTLCache(plan_capacity, ttl_seconds=plan_ttl_seconds, clock=clock)
+        self.quantize_embeddings = quantize_embeddings
+
+    # -------------------------------------------------------------- L2 entries
+    def put_plan(self, key: Hashable, execution: Any, embedding: Any, *, epoch: int | None = None) -> bool:
+        """Store one L2 entry, quantizing the embedding when configured."""
+        stored = quantize_vector(embedding) if self.quantize_embeddings else embedding
+        return self.plans.put(key, (execution, stored), epoch=epoch)
+
+    def get_plan(self, key: Hashable) -> tuple[Any, Any] | None:
+        """One L2 lookup; quantized embeddings are dequantized on hit."""
+        entry = self.plans.get(key)
+        if entry is None:
+            return None
+        execution, stored = entry
+        if isinstance(stored, QuantizedVector):
+            stored = stored.dequantize()
+        return execution, stored
 
     # ------------------------------------------------------------ invalidation
     def on_kb_write(self, event: str, entry_id: str) -> None:

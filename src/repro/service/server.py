@@ -46,6 +46,7 @@ from repro.service.api import (
 )
 from repro.service.batching import MicroBatcher
 from repro.service.cache import ServiceCache
+from repro.service.config import ServiceConfig
 from repro.service.fingerprint import request_cache_key, sql_fingerprint
 from repro.service.metrics import MetricsRegistry
 
@@ -70,45 +71,65 @@ class ExplanationService:
         knowledge_base: KnowledgeBase,
         llm: LLMClient,
         *,
-        top_k: int = 2,
+        config: ServiceConfig | None = None,
         prompt_builder: PromptBuilder | None = None,
-        max_workers: int = 4,
-        max_in_flight: int = 64,
+        top_k: int | None = None,
+        max_workers: int | None = None,
+        max_in_flight: int | None = None,
         default_deadline_seconds: float | None = None,
-        explanation_cache_capacity: int = 512,
-        plan_cache_capacity: int = 2048,
+        explanation_cache_capacity: int | None = None,
+        plan_cache_capacity: int | None = None,
         explanation_ttl_seconds: float | None = None,
         plan_ttl_seconds: float | None = None,
-        batch_max_size: int = 16,
-        batch_max_wait_seconds: float = 0.002,
+        batch_max_size: int | None = None,
+        batch_max_wait_seconds: float | None = None,
+        quantize_embedding_cache: bool | None = None,
     ):
-        if max_workers < 1:
+        self.config = (config or ServiceConfig()).with_overrides(
+            top_k=top_k,
+            max_workers=max_workers,
+            max_in_flight=max_in_flight,
+            default_deadline_seconds=default_deadline_seconds,
+            explanation_cache_capacity=explanation_cache_capacity,
+            plan_cache_capacity=plan_cache_capacity,
+            explanation_ttl_seconds=explanation_ttl_seconds,
+            plan_ttl_seconds=plan_ttl_seconds,
+            batch_max_size=batch_max_size,
+            batch_max_wait_seconds=batch_max_wait_seconds,
+            quantize_embedding_cache=quantize_embedding_cache,
+        )
+        resolved = self.config
+        if resolved.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        if max_in_flight < 1:
+        if resolved.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
         self.system = system
         self.router = router
         self.knowledge_base = knowledge_base
         self.llm = llm
         self.explainer = RagExplainer(
-            system, router, knowledge_base, llm, top_k=top_k, prompt_builder=prompt_builder
+            system, router, knowledge_base, llm,
+            top_k=resolved.top_k, prompt_builder=prompt_builder,
         )
-        self.default_deadline_seconds = default_deadline_seconds
-        self.max_in_flight = max_in_flight
+        self.default_deadline_seconds = resolved.default_deadline_seconds
+        self.max_in_flight = resolved.max_in_flight
         self.metrics = MetricsRegistry()
         self.cache = ServiceCache(
-            explanation_capacity=explanation_cache_capacity,
-            plan_capacity=plan_cache_capacity,
-            explanation_ttl_seconds=explanation_ttl_seconds,
-            plan_ttl_seconds=plan_ttl_seconds,
+            explanation_capacity=resolved.explanation_cache_capacity,
+            plan_capacity=resolved.plan_cache_capacity,
+            explanation_ttl_seconds=resolved.explanation_ttl_seconds,
+            plan_ttl_seconds=resolved.plan_ttl_seconds,
+            quantize_embeddings=resolved.quantize_embedding_cache,
         )
         self.batcher = MicroBatcher(
             router,
-            max_batch_size=batch_max_size,
-            max_wait_seconds=batch_max_wait_seconds,
+            max_batch_size=resolved.batch_max_size,
+            max_wait_seconds=resolved.batch_max_wait_seconds,
             metrics=self.metrics,
         )
-        self._executor = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="explain")
+        self._executor = ThreadPoolExecutor(
+            max_workers=resolved.max_workers, thread_name_prefix="explain"
+        )
         self._in_flight = 0
         self._admission_lock = threading.Lock()
         self._closed = False
@@ -124,6 +145,9 @@ class ExplanationService:
     def _on_ddl(self, event: str, index_name: str) -> None:
         self.metrics.counter("invalidations.ddl").increment()
         self.cache.on_ddl(event, index_name)
+        # DDL can change catalog row counts, so the featurizer's per-relation
+        # row-count memo is stale along with the plan cache.
+        self.router.featurizer.invalidate_catalog_cache()
 
     # -------------------------------------------------------------------- DDL
     def create_index(self, table_name: str, column_name: str) -> Index:
@@ -317,7 +341,7 @@ class ExplanationService:
         plan_epoch = self.cache.plans.epoch
         explanation_epoch = self.cache.explanations.epoch
         with tracer.span("cache.l2_lookup") as lookup:
-            plan_entry = self.cache.plans.get(plan_key)
+            plan_entry = self.cache.get_plan(plan_key)
             lookup.set_attribute("hit", plan_entry is not None)
         encode_seconds = 0.0
         if plan_entry is None:
@@ -326,7 +350,7 @@ class ExplanationService:
             with tracer.span("pipeline.encode", batched=True):
                 embedding = self.batcher.encode(execution.plan_pair)
             encode_seconds = time.perf_counter() - encode_start
-            self.cache.plans.put(plan_key, (execution, embedding), epoch=plan_epoch)
+            self.cache.put_plan(plan_key, execution, embedding, epoch=plan_epoch)
             plan_cache_hit = False
         else:
             execution, embedding = plan_entry

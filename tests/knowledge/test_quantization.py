@@ -1,0 +1,79 @@
+"""Round-trip and retrieval-quality tests for the int8 embedding codec."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge.quantization import dequantize_vector, quantize_vector
+from repro.knowledge.vector_store import FlatVectorStore
+
+
+def _random_vectors(count: int, dimensions: int = 16, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=dimensions) for _ in range(count)]
+
+
+# -------------------------------------------------------------- round trip
+def test_roundtrip_error_bounded_by_half_step():
+    for vector in _random_vectors(20, dimensions=32):
+        quantized = quantize_vector(vector)
+        recovered = quantized.dequantize()
+        assert recovered.dtype == np.float64
+        assert np.max(np.abs(recovered - vector)) <= quantized.max_abs_error + 1e-12
+        np.testing.assert_array_equal(dequantize_vector(quantized), recovered)
+
+
+def test_codes_are_int8_and_symmetric():
+    vector = np.array([-3.0, 0.0, 1.5, 3.0])
+    quantized = quantize_vector(vector)
+    assert quantized.codes.dtype == np.int8
+    assert quantized.codes[0] == -127  # peak magnitude maps to ±127
+    assert quantized.codes[1] == 0     # zero maps exactly to zero
+    assert quantized.codes[3] == 127
+    assert quantized.scale == pytest.approx(3.0 / 127)
+
+
+def test_zero_vector_roundtrips_exactly():
+    quantized = quantize_vector(np.zeros(8))
+    assert quantized.scale == 0.0
+    np.testing.assert_array_equal(quantized.dequantize(), np.zeros(8))
+    assert quantized.max_abs_error == 0.0
+
+
+def test_non_finite_and_non_1d_rejected():
+    with pytest.raises(ValueError):
+        quantize_vector(np.array([1.0, np.nan]))
+    with pytest.raises(ValueError):
+        quantize_vector(np.array([1.0, np.inf]))
+    with pytest.raises(ValueError):
+        quantize_vector(np.ones((2, 2)))
+
+
+def test_payload_is_about_8x_smaller():
+    vector = np.random.default_rng(1).normal(size=64)
+    quantized = quantize_vector(vector)
+    # 64 float64 components = 512 bytes; 64 int8 codes + one scale = 72.
+    assert quantized.nbytes == 64 + 8
+    assert vector.nbytes / quantized.nbytes > 7.0
+
+
+# ------------------------------------------------------------ recall@5 gate
+def test_quantized_recall_at_5_stays_high():
+    """Searching with dequantized embeddings must keep recall@5 ≥ 0.95.
+
+    This is the acceptance bound for the L2-cache codec: an embedding that
+    went through the cache (quantize → dequantize) must retrieve nearly the
+    same top-5 KB entries as the original float64 embedding.
+    """
+    vectors = _random_vectors(300, seed=42)
+    store = FlatVectorStore()
+    for index, vector in enumerate(vectors):
+        store.add(f"v{index}", vector)
+    queries = _random_vectors(40, dimensions=16, seed=43)
+    hits = 0
+    for query in queries:
+        exact = {r.key for r in store.search(query, k=5)}
+        requantized = quantize_vector(query).dequantize()
+        approx = {r.key for r in store.search(requantized, k=5)}
+        hits += len(exact & approx)
+    recall = hits / (len(queries) * 5)
+    assert recall >= 0.95

@@ -42,6 +42,49 @@ def test_batcher_concurrent_requests_match_per_pair(trained_router, labeled_work
     assert stats["mean_batch_size"] > 1.0
 
 
+def test_lone_request_flushes_without_waiting_for_window(trained_router, labeled_workload):
+    """A single cold request must not pay the coalescing wait."""
+    import time
+
+    pair = labeled_workload[0].execution.plan_pair
+    # An absurd window: if the greedy flush regressed, encode would block
+    # for the full 0.5 s instead of returning in single-digit milliseconds.
+    with MicroBatcher(trained_router, max_wait_seconds=0.5) as batcher:
+        batcher.encode(pair)  # warm the scheduler thread
+        start = time.perf_counter()
+        batcher.encode(pair)
+        elapsed = time.perf_counter() - start
+    assert elapsed < 0.25
+
+
+def test_flush_spans_carry_featurization_split(trained_router, labeled_workload):
+    from repro.obs.store import TraceStore
+    from repro.obs.tracing import get_tracer, traced
+
+    pair = labeled_workload[0].execution.plan_pair
+    store = TraceStore()
+    with traced(store=store):
+        tracer = get_tracer()
+        with tracer.span("test.root", root=True):
+            with MicroBatcher(trained_router) as batcher:
+                batcher.encode(pair)
+    spans = [span for trace in store.traces() for span in trace.find("router.embed_batch")]
+    assert spans
+    attributes = spans[0].attributes
+    assert attributes["batch_size"] == 1
+    assert attributes["featurize_seconds"] >= 0.0
+    assert attributes["forward_seconds"] > 0.0
+
+
+def test_embed_batch_reports_timings_dict(trained_router, labeled_workload):
+    pairs = [labeled.execution.plan_pair for labeled in labeled_workload[:4]]
+    timings: dict[str, float] = {}
+    embeddings = trained_router.embed_batch(pairs, timings=timings)
+    assert embeddings.shape[0] == len(pairs)
+    assert timings["featurize_seconds"] >= 0.0
+    assert timings["forward_seconds"] > 0.0
+
+
 def test_batcher_close_rejects_new_work(trained_router, labeled_workload):
     batcher = MicroBatcher(trained_router)
     batcher.close()
