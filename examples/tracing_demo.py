@@ -14,14 +14,19 @@ demonstrates:
 4. the pooled per-stage latency breakdown across all traced requests,
 5. Prometheus-style text exposition merging service metrics with the
    tracer's own per-stage histograms,
-6. the JSON-lines trace log consumed by the ``repro-trace`` CLI.
+6. the JSON-lines trace log consumed by the ``repro-trace`` CLI,
+7. the embedded admin HTTP server: a service started with
+   ``admin_port=0`` scraping its own ``/metrics``, ``/healthz``, and
+   ``/slo`` endpoints over HTTP.
 
 Run with:  python examples/tracing_demo.py
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
+import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -29,7 +34,13 @@ from repro.explainer import entries_from_labeled
 from repro.htap import HTAPSystem
 from repro.knowledge import KnowledgeBase
 from repro.llm import SimulatedLLM
-from repro.obs import TraceLogWriter, merged_exposition, stage_durations, traced
+from repro.obs import (
+    Sampler,
+    TraceLogWriter,
+    merged_exposition,
+    stage_durations,
+    traced,
+)
 from repro.obs.cli import breakdown_rows, render_trace_tree
 from repro.router import SmartRouter
 from repro.service import ExplanationService
@@ -105,6 +116,39 @@ def main() -> None:
     print(f"\nJSON-lines trace log written to {log_path}")
     print("Inspect it with:  repro-trace show "
           f"{log_path} --slowest   (or: repro-trace breakdown {log_path})")
+
+    # ------------------------------------------- 7. embedded admin server
+    print("\nStarting a service with an embedded admin server (admin_port=0)...")
+    with traced(sampler=Sampler(head_probability=1.0, slow_threshold_seconds=0.05)):
+        with ExplanationService(
+            system, router, knowledge_base, SimulatedLLM(),
+            max_workers=4, admin_port=0,
+        ) as service:
+            for sql in sqls[:4]:
+                assert service.explain(sql).ok
+            base = service.admin.url
+            print(f"Admin endpoints live at {base}")
+
+            with urllib.request.urlopen(base + "/metrics", timeout=5) as response:
+                metrics = response.read().decode()
+            interesting = [line for line in metrics.splitlines()
+                           if line.startswith(("repro_sampler_", "repro_slo_",
+                                               "repro_store_traces_"))]
+            print(f"Self-scrape of /metrics ({len(metrics.splitlines())} lines):")
+            for line in interesting[:8]:
+                print(f"  {line}")
+
+            with urllib.request.urlopen(base + "/healthz", timeout=5) as response:
+                health = json.loads(response.read())
+            print(f"/healthz: ok={health['ok']} "
+                  f"({', '.join(check['name'] for check in health['checks'])})")
+
+            with urllib.request.urlopen(base + "/slo", timeout=5) as response:
+                slo = json.loads(response.read())
+            for objective in slo["objectives"]:
+                burn = max(window["burn_rate"] for window in objective["windows"].values())
+                print(f"/slo: {objective['name']:<16} met={objective['met']} "
+                      f"worst burn rate={burn:.3f}")
     print("\nDone.")
 
 

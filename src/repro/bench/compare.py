@@ -84,6 +84,11 @@ DEFAULT_TOLERANCES: tuple[tuple[str, Tolerance], ...] = (
     ("*ops_per_second*", Tolerance(Direction.HIGHER_IS_BETTER, rel=0.80)),
     ("*qps*", Tolerance(Direction.HIGHER_IS_BETTER, rel=0.80)),
     ("*batch_size*", Tolerance(Direction.INFORMATIONAL)),
+    # Observability-tax ratios sit near 1.0 but are measured over tens of
+    # microseconds of warm-path latency, so they wobble hard with runner
+    # load; gate only the order-of-magnitude blowups where tracing
+    # suddenly dominates the warm path.
+    ("*overhead_ratio*", Tolerance(Direction.LOWER_IS_BETTER, rel=1.0, abs=2.0)),
     ("*model_size*", Tolerance(Direction.LOWER_IS_BETTER, rel=0.25)),
     ("*parameter*", Tolerance(Direction.LOWER_IS_BETTER, rel=0.25)),
     ("duration_seconds", Tolerance(Direction.LOWER_IS_BETTER, rel=4.0)),

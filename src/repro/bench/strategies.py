@@ -23,7 +23,11 @@ export one ``BENCH_<suite>.json`` per suite:
 * ``cold_path`` — the vectorized encode/retrieve hot path in isolation:
   uncached end-to-end request latency plus the encode and retrieve stage
   series, with the featurize/forward split and the kernel-batch counters
-  pulled from span attributes.
+  pulled from span attributes;
+* ``obs_overhead`` — the observability tax on the warm serve path:
+  per-request latency with tracing off, fully traced, and 1%
+  head-sampled, plus ``overhead_ratio.*`` scalars gating that the
+  instrumentation stays cheap and sampling keeps it near-free.
 
 This module imports :mod:`repro.service` and is therefore *not* re-exported
 from ``repro.bench.__init__`` — the serving layer itself depends on
@@ -457,6 +461,121 @@ class ColdPathStrategy(ExperimentStrategy):
         )
 
 
+class ObsOverheadStrategy(ExperimentStrategy):
+    """What tracing costs on the warm serve path — and what sampling saves.
+
+    Three passes over the same warm workload, each against a fresh
+    :class:`ExplanationService` primed so every measured request hits the
+    explanation cache (the fast path, where fixed per-request overhead is
+    proportionally largest):
+
+    * ``off`` — tracing disabled (the default no-op tracer);
+    * ``traced`` — every request fully traced at 100%;
+    * ``sampled`` — 1% head sampling, so almost every trace is dropped at
+      the root and children cost near-zero.
+
+    The ``overhead_ratio.traced`` / ``overhead_ratio.sampled`` scalars are
+    the p50 warm latency of each mode over the ``off`` mode; the committed
+    baseline gates that full tracing stays cheap and that head sampling
+    keeps the tax near 1.0×.  Sampler kept/dropped counters ride along so
+    the baseline also proves the sampler actually dropped the traces it
+    claims to.
+    """
+
+    name = "obs_overhead"
+
+    MODES: tuple[str, ...] = ("off", "traced", "sampled")
+
+    def __init__(
+        self,
+        distinct_queries: int = 8,
+        warm_requests: int = 64,
+        head_probability: float = 0.01,
+        max_workers: int = 4,
+    ):
+        self.distinct_queries = distinct_queries
+        self.warm_requests = warm_requests
+        self.head_probability = head_probability
+        self.max_workers = max_workers
+
+    def default_config(self) -> ExperimentConfig:
+        return ExperimentConfig(runs=2, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        sqls = [labeled.sql for labeled in context.harness.dataset.test[: self.distinct_queries]]
+        if not sqls:
+            raise ValueError("test set is empty; cannot measure tracing overhead")
+        context.state["sqls"] = sqls
+
+    def _drive(self, context: ExperimentContext) -> list[float]:
+        """Prime a fresh service cold, then time the warm workload."""
+        harness = context.harness
+        sqls: list[str] = context.state["sqls"]
+        service = ExplanationService(
+            harness.system,
+            harness.router,
+            harness.knowledge_base,
+            harness.llm,
+            top_k=harness.top_k,
+            max_workers=self.max_workers,
+        )
+        try:
+            for sql in sqls:
+                result = service.explain(sql)
+                if not result.ok:
+                    raise RuntimeError(f"priming request failed: {result.error}")
+            warm_seconds: list[float] = []
+            for i in range(self.warm_requests):
+                sql = sqls[i % len(sqls)]
+                start = time.perf_counter()
+                result = service.explain(sql)
+                warm_seconds.append(time.perf_counter() - start)
+                if not (result.ok and result.cache_hit):
+                    raise RuntimeError("warm request missed the explanation cache")
+            return warm_seconds
+        finally:
+            service.shutdown()
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        from statistics import median
+
+        from repro.obs.sampling import Sampler
+        from repro.obs.store import TraceStore
+        from repro.obs.tracing import traced
+
+        series: dict[str, list[float]] = {}
+        series["off"] = self._drive(context)
+
+        with traced(store=TraceStore(max_recent=self.warm_requests + 16)):
+            series["traced"] = self._drive(context)
+
+        sampler = Sampler(
+            head_probability=self.head_probability,
+            slow_threshold_seconds=None,
+        )
+        with traced(store=TraceStore(), sampler=sampler):
+            series["sampled"] = self._drive(context)
+
+        baseline = median(series["off"])
+        if baseline <= 0:
+            raise RuntimeError("warm baseline latency collapsed to zero")
+        metrics: dict[str, Any] = {
+            f"warm_seconds.{mode}": series[mode] for mode in self.MODES
+        }
+        metrics["overhead_ratio.traced"] = median(series["traced"]) / baseline
+        metrics["overhead_ratio.sampled"] = median(series["sampled"]) / baseline
+        operations = sum(len(values) for values in series.values())
+        return RunResult(
+            metrics=metrics,
+            counters={
+                "requests_per_mode": self.warm_requests,
+                "sampler_kept": sampler.kept,
+                "sampler_dropped": sampler.dropped,
+            },
+            operations=operations,
+        )
+
+
 def build_suites(
     only: tuple[str, ...] | None = None,
 ) -> dict[str, ExperimentStrategy]:
@@ -468,6 +587,7 @@ def build_suites(
         ServiceThroughputStrategy(),
         StageBreakdownStrategy(),
         ColdPathStrategy(),
+        ObsOverheadStrategy(),
     )
     registry = {strategy.name: strategy for strategy in strategies}
     if only is None:

@@ -1,6 +1,6 @@
-"""``repro-trace`` — render traces as span trees and latency breakdowns.
+"""``repro-trace`` — render traces, latency breakdowns, and the admin plane.
 
-Three subcommands:
+Four subcommands:
 
 ``repro-trace demo``
     Build the quick experiment harness, serve real requests through a
@@ -18,6 +18,16 @@ Three subcommands:
     Aggregate every span in the log into a per-stage table: count,
     p50/p95/max milliseconds, and each stage's share of total traced
     time.
+
+``repro-trace serve``
+    Build the quick harness, start a traced
+    :class:`~repro.service.server.ExplanationService` with the embedded
+    admin HTTP server, pre-serve a few requests, and keep the endpoints
+    (``/metrics``, ``/healthz``, ``/readyz``, ``/traces``, ``/slo``) up
+    until interrupted.  ``--head-probability`` / ``--slow-threshold-ms``
+    configure trace sampling; ``--smoke`` self-scrapes ``/metrics`` and
+    ``/healthz`` once and exits nonzero on a bad or empty response —
+    the CI liveness check.
 
 Runs without installation: ``PYTHONPATH=src python -m repro.obs.cli``.
 """
@@ -165,6 +175,88 @@ def _demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------------------- serve
+def _serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bench.strategies import build_harness
+    from repro.obs.sampling import Sampler
+    from repro.obs.store import TraceStore
+    from repro.obs.tracing import traced
+    from repro.service.server import ExplanationService
+
+    print(f"building harness (profile={args.profile}) ...", flush=True)
+    harness = build_harness(args.profile)
+    sqls = [labeled.sql for labeled in harness.dataset.test[: max(1, args.requests)]]
+    sampler = Sampler(
+        head_probability=args.head_probability,
+        slow_threshold_seconds=args.slow_threshold_ms / 1000.0,
+    )
+    store = TraceStore(max_slow=16, max_recent=256)
+    with traced(store=store, sampler=sampler):
+        service = ExplanationService(
+            harness.system,
+            harness.router,
+            harness.knowledge_base,
+            harness.llm,
+            top_k=harness.top_k,
+            max_workers=4,
+            admin_port=args.port,
+            admin_host=args.host,
+        )
+        try:
+            admin = service.admin
+            assert admin is not None
+            print(f"admin endpoints at {admin.url}:")
+            for endpoint in ("/metrics", "/healthz", "/readyz", "/traces", "/slo"):
+                print(f"  GET {admin.url}{endpoint}")
+            print(f"pre-serving {len(sqls)} traced requests ...", flush=True)
+            for sql in sqls:
+                result = service.explain(sql)
+                if not result.ok:
+                    print(f"request failed: {result.error}", file=sys.stderr)
+                    return 1
+            if args.smoke:
+                return _smoke(admin.url)
+            print("serving until Ctrl-C ...", flush=True)
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+        finally:
+            service.shutdown()
+    return 0
+
+
+def _smoke(base_url: str) -> int:
+    """One self-scrape of /metrics and /healthz; nonzero on any problem."""
+    import urllib.request
+
+    failures = []
+    for path, must_contain in (("/metrics", "repro_"), ("/healthz", '"ok": true')):
+        try:
+            with urllib.request.urlopen(base_url + path, timeout=10) as response:
+                status = response.status
+                body = response.read().decode("utf-8")
+        except OSError as exc:
+            failures.append(f"{path}: request failed ({exc})")
+            continue
+        if status != 200:
+            failures.append(f"{path}: HTTP {status}")
+        elif not body.strip():
+            failures.append(f"{path}: empty response body")
+        elif must_contain not in body:
+            failures.append(f"{path}: response lacks {must_contain!r}")
+        else:
+            print(f"smoke OK: GET {path} -> 200, {len(body)} bytes")
+    if failures:
+        for failure in failures:
+            print(f"smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------------- show
 def _load(path: str) -> list[dict[str, Any]]:
     traces = list(read_traces(path))
@@ -223,6 +315,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     breakdown = commands.add_parser("breakdown", help="per-stage latency table from a trace log")
     breakdown.add_argument("file")
+
+    serve = commands.add_parser(
+        "serve", help="run a traced service with the admin HTTP endpoints"
+    )
+    serve.add_argument("--profile", choices=("quick", "paper"), default="quick")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    serve.add_argument("--requests", type=int, default=8, help="requests pre-served at startup")
+    serve.add_argument(
+        "--head-probability",
+        type=float,
+        default=1.0,
+        help="head-sampling keep probability (tail rules still retain slow/rejected/error traces)",
+    )
+    serve.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        default=50.0,
+        help="tail-keep traces with root latency at or above this",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-scrape /metrics and /healthz once, then exit (CI smoke)",
+    )
     return parser
 
 
@@ -232,6 +349,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _demo(args)
     if args.command == "show":
         return _show(args)
+    if args.command == "serve":
+        return _serve(args)
     return _breakdown(args)
 
 

@@ -35,6 +35,20 @@ _SIDE_GAUGES = ("min", "max", "mean")
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT = re.compile(r"^[0-9]")
 
+#: Grammar of one exposition line, per the text format 0.0.4 spec —
+#: either a ``# TYPE`` comment or a sample with optional labels and a
+#: float/int/±Inf/NaN value.  Exported so conformance tests (and any
+#: embedding web layer) can validate every emitted line.
+METRIC_LINE = re.compile(
+    r"^(?:"
+    r"# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (?:counter|gauge|summary|histogram|untyped)"
+    r"|"
+    r'[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})?'
+    r" (?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN)"
+    r")$"
+)
+
 
 def metric_name(*parts: str, namespace: str = "repro") -> str:
     """Join snapshot path parts into a valid Prometheus metric name."""
@@ -42,7 +56,33 @@ def metric_name(*parts: str, namespace: str = "repro") -> str:
     sanitized = _INVALID_CHARS.sub("_", joined.replace(".", "_"))
     if _LEADING_DIGIT.match(sanitized):
         sanitized = "_" + sanitized
-    return sanitized
+    return sanitized or "_"
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the text format 0.0.4 spec.
+
+    Backslash, double-quote, and newline are the three characters the
+    spec requires escaping inside a quoted label value; everything else
+    passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_sample(name: str, labels: "Mapping[str, Any] | None", value: float) -> str:
+    """One sample line: ``name{label="escaped value",...} value``."""
+    if labels:
+        rendered = ",".join(
+            f'{_INVALID_CHARS.sub("_", str(key))}="{escape_label_value(label_value)}"'
+            for key, label_value in labels.items()
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
 
 
 def _format_value(value: float) -> str:
@@ -61,7 +101,7 @@ def _render_summary(name: str, summary: Mapping[str, Any], lines: list[str]) -> 
     lines.append(f"# TYPE {name} summary")
     for key, quantile in _QUANTILE_KEYS:
         if key in summary:
-            lines.append(f'{name}{{quantile="{quantile}"}} {_format_value(summary[key])}')
+            lines.append(render_sample(name, {"quantile": quantile}, summary[key]))
     lines.append(f"{name}_count {_format_value(summary.get('count', 0))}")
     if "sum" in summary:
         lines.append(f"{name}_sum {_format_value(summary['sum'])}")

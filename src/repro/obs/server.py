@@ -1,0 +1,289 @@
+"""AdminServer — stdlib-asyncio HTTP endpoints for live observability.
+
+A small embeddable admin plane with zero dependencies beyond the standard
+library.  It serves:
+
+=====================  ========================================================
+``GET /``              endpoint index (JSON)
+``GET /metrics``       Prometheus text 0.0.4 exposition of every registered
+                       snapshot provider, plus SLO gauges
+``GET /healthz``       liveness — typed :class:`~repro.obs.health.HealthReport`
+                       JSON, 200/503
+``GET /readyz``        readiness — same shape, stricter checks
+``GET /traces``        retained-trace summaries + store stats (``?limit=N``)
+``GET /traces/<id>``   one full trace as its span-tree JSON
+``GET /slo``           objectives, windowed SLI values, burn rates (JSON)
+=====================  ========================================================
+
+The server owns a daemon thread running its own event loop, so it embeds
+cleanly in the thread-based serving stack: ``start()`` blocks until the
+socket is bound (``port=0`` picks an ephemeral port, exposed as
+``server.port``), ``stop()`` tears the loop down.  Handlers are
+deliberately synchronous inside the loop — every provider is a quick
+snapshot call — and each connection is one request/response
+(``Connection: close``), which is all a scraper needs.
+
+It is wired up for you by ``ExplanationService`` when
+``ServiceConfig(admin_port=...)`` is set, or standalone via
+``repro-trace serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.promtext import merged_exposition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.health import HealthReport
+    from repro.obs.slo import SLOTracker
+    from repro.obs.store import Trace, TraceStore
+
+#: Content type of the Prometheus text exposition format 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+_REASONS = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _trace_summary(trace: "Trace") -> dict[str, Any]:
+    attributes = trace.root.attributes
+    return {
+        "trace_id": trace.trace_id,
+        "name": trace.name,
+        "duration_ms": round(trace.duration_seconds * 1000.0, 3),
+        "span_count": len(trace.spans),
+        "status": attributes.get("status"),
+        "rejected_reason": attributes.get("rejected_reason"),
+        "sampled": attributes.get("sampled"),
+        "partial": bool(attributes.get("sampled_partial", False)),
+    }
+
+
+class AdminServer:
+    """Embeddable asyncio HTTP server for the observability endpoints."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_providers: Sequence[Callable[[], Mapping[str, Any]]] = (),
+        health: "Callable[[], HealthReport] | None" = None,
+        ready: "Callable[[], HealthReport] | None" = None,
+        store_provider: "Callable[[], TraceStore | None] | None" = None,
+        slo: "SLOTracker | None" = None,
+        namespace: str = "repro",
+    ):
+        self.host = host
+        #: Requested port; replaced by the bound port after :meth:`start`.
+        self.port = port
+        self.snapshot_providers = tuple(snapshot_providers)
+        self.health = health
+        self.ready = ready
+        self.store_provider = store_provider
+        self.slo = slo
+        self.namespace = namespace
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, timeout: float = 5.0) -> "AdminServer":
+        """Bind the socket and serve from a daemon thread; returns self."""
+        if self.running:
+            raise RuntimeError("admin server is already running")
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="obs-admin-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("admin server did not start in time")
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout)
+            self._thread = None
+            raise RuntimeError(f"admin server failed to bind {self.host}:{self.port}") from error
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop serving and join the loop thread (idempotent)."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout)
+        self._loop = None
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "AdminServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+        except BaseException as exc:  # bind failure (port in use, bad host)
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._loop = loop
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    # ------------------------------------------------------------------- HTTP
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            # Drain headers; this server needs none of them.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            try:
+                status, content_type, body = self._route(method, target)
+            except Exception as exc:  # noqa: BLE001 - always answer the scraper
+                status, content_type, body = (
+                    500,
+                    JSON_CONTENT_TYPE,
+                    json.dumps({"error": f"{type(exc).__name__}: {exc}"}),
+                )
+            payload = body.encode("utf-8")
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, method: str, target: str) -> tuple[int, str, str]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        if method != "GET":
+            return 405, JSON_CONTENT_TYPE, json.dumps({"error": f"method {method} not allowed"})
+        if path == "/":
+            return 200, JSON_CONTENT_TYPE, json.dumps(
+                {"endpoints": ["/metrics", "/healthz", "/readyz", "/traces", "/traces/<trace_id>", "/slo"]}
+            )
+        if path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, self._metrics_text()
+        if path == "/healthz":
+            return self._health_response(self.health)
+        if path == "/readyz":
+            return self._health_response(self.ready or self.health)
+        if path == "/traces":
+            return self._traces_response(query)
+        if path.startswith("/traces/"):
+            return self._trace_response(path[len("/traces/"):])
+        if path == "/slo":
+            return self._slo_response()
+        return 404, JSON_CONTENT_TYPE, json.dumps({"error": f"no such endpoint: {path}"})
+
+    def _merged_snapshot(self) -> dict[str, Any]:
+        merged: dict[str, Any] = {}
+        for provider in self.snapshot_providers:
+            merged.update(provider())
+        return merged
+
+    def _metrics_text(self) -> str:
+        snapshots: list[Mapping[str, Any]] = [self._merged_snapshot()]
+        if self.slo is not None:
+            # Scrape-driven sampling: every /metrics hit is also an SLO
+            # observation, so burn rates track the scrape cadence.
+            snapshots.append(self.slo.snapshot(snapshots[0]))
+        return merged_exposition(*snapshots, namespace=self.namespace)
+
+    def _health_response(
+        self, provider: "Callable[[], HealthReport] | None"
+    ) -> tuple[int, str, str]:
+        if provider is None:
+            return 200, JSON_CONTENT_TYPE, json.dumps({"ok": True, "checks": []})
+        report = provider()
+        return (
+            200 if report.ok else 503,
+            JSON_CONTENT_TYPE,
+            json.dumps(report.to_dict()),
+        )
+
+    def _store(self) -> "TraceStore | None":
+        return self.store_provider() if self.store_provider is not None else None
+
+    def _traces_response(self, query: Mapping[str, list[str]]) -> tuple[int, str, str]:
+        store = self._store()
+        if store is None:
+            return 404, JSON_CONTENT_TYPE, json.dumps({"error": "no trace store attached"})
+        try:
+            limit = max(1, int(query.get("limit", ["50"])[0]))
+        except ValueError:
+            limit = 50
+        body = {
+            "stats": store.stats(),
+            "slowest": [_trace_summary(trace) for trace in store.slowest(limit)],
+            "recent": [_trace_summary(trace) for trace in store.recent(limit)],
+        }
+        return 200, JSON_CONTENT_TYPE, json.dumps(body)
+
+    def _trace_response(self, trace_id: str) -> tuple[int, str, str]:
+        store = self._store()
+        if store is None:
+            return 404, JSON_CONTENT_TYPE, json.dumps({"error": "no trace store attached"})
+        trace = store.get(trace_id)
+        if trace is None:
+            return 404, JSON_CONTENT_TYPE, json.dumps({"error": f"trace {trace_id} not retained"})
+        return 200, JSON_CONTENT_TYPE, json.dumps(trace.to_dict(), default=str)
+
+    def _slo_response(self) -> tuple[int, str, str]:
+        if self.slo is None:
+            return 404, JSON_CONTENT_TYPE, json.dumps({"error": "no SLO tracker attached"})
+        evaluation = self.slo.evaluate(self._merged_snapshot())
+        return 200, JSON_CONTENT_TYPE, json.dumps(evaluation, default=str)

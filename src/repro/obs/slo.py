@@ -1,0 +1,272 @@
+"""SLO objectives and multi-window burn-rate tracking.
+
+Declarative service-level objectives evaluated against the plain-dict
+snapshots the serving layer already exports
+(:meth:`repro.service.server.ExplanationService.metrics_snapshot` merged
+with :meth:`repro.obs.tracing.Tracer.stage_snapshot`):
+
+* :class:`LatencyObjective` — a quantile of a latency histogram must stay
+  at or under a threshold (e.g. p95 of ``stage.service.explain`` ≤ 500 ms);
+* :class:`ErrorRateObjective` — the bad fraction of traffic (failed /
+  shed / deadline-exceeded over submitted) must stay at or under a target
+  budget.
+
+:class:`SLOTracker` is scrape-driven: each :meth:`~SLOTracker.observe`
+appends a timestamped sample extracted from a snapshot, and
+:meth:`~SLOTracker.evaluate` computes, per objective and per sliding
+window, the windowed SLI value and its **burn rate** — how fast the error
+budget is being consumed, where 1.0 means "exactly on budget" and larger
+means faster.  Multi-window evaluation is the standard paging pattern: a
+short window catches a sharp regression quickly, a long window catches a
+slow leak, and alerting on both avoids paging on blips.
+
+Counter-shaped SLIs (error rates) are computed from windowed *deltas* of
+the cumulative counters, so a long-running process does not drag history
+into the current window.  Latency quantiles come from the histogram's
+ring window, which is already recent-biased; within a window the worst
+observed quantile is used (pessimistic, the right bias for an SLO).
+
+:meth:`~SLOTracker.snapshot` renders the evaluation as float gauges under
+the ``slo`` key, which the Prometheus exposition turns into
+``repro_slo_*`` series.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Union
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """A latency quantile of one histogram must stay ≤ a threshold."""
+
+    name: str
+    #: Snapshot key of a histogram summary (e.g. ``stage.service.explain``).
+    metric: str
+    threshold_seconds: float
+    quantile: str = "p95"
+
+    def __post_init__(self) -> None:
+        if self.threshold_seconds <= 0:
+            raise ValueError("threshold_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ErrorRateObjective:
+    """The bad fraction of traffic must stay ≤ a target budget."""
+
+    name: str
+    #: Counter keys summed into the traffic denominator.
+    total: tuple[str, ...]
+    #: Counter keys summed into the bad-event numerator.
+    bad: tuple[str, ...]
+    #: Maximum tolerated bad fraction (the error budget), e.g. 0.01.
+    target: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+
+
+Objective = Union[LatencyObjective, ErrorRateObjective]
+
+
+def default_service_objectives() -> tuple[Objective, ...]:
+    """The objectives :class:`ExplanationService` tracks out of the box."""
+    return (
+        LatencyObjective(
+            name="request_latency",
+            metric="stage.service.explain",
+            threshold_seconds=0.5,
+            quantile="p95",
+        ),
+        ErrorRateObjective(
+            name="availability",
+            total=("requests.submitted",),
+            bad=(
+                "requests.failed",
+                "requests.shed",
+                "requests.deadline_exceeded",
+                "requests.rejected_closed",
+            ),
+            target=0.01,
+        ),
+    )
+
+
+def _counter_sum(snapshot: Mapping[str, Any], keys: tuple[str, ...]) -> float:
+    total = 0.0
+    for key in keys:
+        value = snapshot.get(key, 0)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        total += float(value)
+    return total
+
+
+def _quantile_value(snapshot: Mapping[str, Any], metric: str, quantile: str) -> float | None:
+    summary = snapshot.get(metric)
+    if isinstance(summary, Mapping) and quantile in summary:
+        return float(summary[quantile])
+    return None
+
+
+def _window_label(window_seconds: float) -> str:
+    return f"{int(window_seconds)}s"
+
+
+class SLOTracker:
+    """Sliding-window SLO evaluation over a stream of metrics snapshots."""
+
+    def __init__(
+        self,
+        objectives: tuple[Objective, ...] | None = None,
+        *,
+        windows: tuple[float, ...] = (60.0, 300.0, 1800.0),
+        max_samples: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not windows or any(window <= 0 for window in windows):
+            raise ValueError("windows must be non-empty positive durations")
+        self.objectives = objectives if objectives is not None else default_service_objectives()
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: "deque[dict[str, Any]]" = deque(maxlen=max_samples)
+
+    # ------------------------------------------------------------------ write
+    def observe(self, snapshot: Mapping[str, Any]) -> None:
+        """Extract and retain this instant's SLI inputs from a snapshot."""
+        now = self._clock()
+        sample: dict[str, Any] = {"t": now}
+        for objective in self.objectives:
+            if isinstance(objective, ErrorRateObjective):
+                sample[f"total.{objective.name}"] = _counter_sum(snapshot, objective.total)
+                sample[f"bad.{objective.name}"] = _counter_sum(snapshot, objective.bad)
+            else:
+                sample[f"lat.{objective.name}"] = _quantile_value(
+                    snapshot, objective.metric, objective.quantile
+                )
+        horizon = now - 2 * self.windows[-1]
+        with self._lock:
+            self._samples.append(sample)
+            while self._samples and self._samples[0]["t"] < horizon:
+                self._samples.popleft()
+
+    # ------------------------------------------------------------------- read
+    def evaluate(self, snapshot: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Per-objective, per-window SLI values and burn rates.
+
+        Passing a snapshot observes it first (the scrape-driven pattern:
+        every ``/slo`` request is also a sample).
+        """
+        if snapshot is not None:
+            self.observe(snapshot)
+        with self._lock:
+            samples = list(self._samples)
+        now = self._clock()
+        objectives: list[dict[str, Any]] = []
+        worst_burn = 0.0
+        for objective in self.objectives:
+            if isinstance(objective, ErrorRateObjective):
+                entry = self._evaluate_error_rate(objective, samples, now)
+            else:
+                entry = self._evaluate_latency(objective, samples, now)
+            for window in entry["windows"].values():
+                worst_burn = max(worst_burn, window["burn_rate"])
+            objectives.append(entry)
+        return {
+            "samples": len(samples),
+            "windows_seconds": list(self.windows),
+            "worst_burn_rate": worst_burn,
+            "objectives": objectives,
+        }
+
+    def _window_samples(
+        self, samples: list[dict[str, Any]], now: float, window: float
+    ) -> list[dict[str, Any]]:
+        cutoff = now - window
+        return [sample for sample in samples if sample["t"] >= cutoff]
+
+    def _evaluate_error_rate(
+        self, objective: ErrorRateObjective, samples: list[dict[str, Any]], now: float
+    ) -> dict[str, Any]:
+        total_key, bad_key = f"total.{objective.name}", f"bad.{objective.name}"
+        latest = samples[-1] if samples else None
+        cumulative_total = latest[total_key] if latest else 0.0
+        cumulative_bad = latest[bad_key] if latest else 0.0
+        value = (cumulative_bad / cumulative_total) if cumulative_total > 0 else 0.0
+        windows: dict[str, dict[str, float]] = {}
+        for window in self.windows:
+            in_window = self._window_samples(samples, now, window)
+            if len(in_window) >= 2:
+                delta_total = in_window[-1][total_key] - in_window[0][total_key]
+                delta_bad = in_window[-1][bad_key] - in_window[0][bad_key]
+                rate = (delta_bad / delta_total) if delta_total > 0 else 0.0
+            else:
+                rate = value  # too few samples for a delta; fall back to cumulative
+            windows[_window_label(window)] = {
+                "value": rate,
+                "burn_rate": rate / objective.target,
+            }
+        return {
+            "name": objective.name,
+            "kind": "error_rate",
+            "target": objective.target,
+            "value": value,
+            "met": value <= objective.target,
+            "windows": windows,
+        }
+
+    def _evaluate_latency(
+        self, objective: LatencyObjective, samples: list[dict[str, Any]], now: float
+    ) -> dict[str, Any]:
+        key = f"lat.{objective.name}"
+        observed = [sample[key] for sample in samples if sample.get(key) is not None]
+        value = observed[-1] if observed else 0.0
+        windows: dict[str, dict[str, float]] = {}
+        for window in self.windows:
+            in_window = [
+                sample[key]
+                for sample in self._window_samples(samples, now, window)
+                if sample.get(key) is not None
+            ]
+            worst = max(in_window) if in_window else value
+            windows[_window_label(window)] = {
+                "value": worst,
+                "burn_rate": worst / objective.threshold_seconds,
+            }
+        return {
+            "name": objective.name,
+            "kind": "latency",
+            "target": objective.threshold_seconds,
+            "quantile": objective.quantile,
+            "value": value,
+            "met": value <= objective.threshold_seconds,
+            "windows": windows,
+        }
+
+    # ------------------------------------------------------------- exposition
+    def snapshot(self, snapshot: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """The evaluation as float gauges for the Prometheus exposition.
+
+        Everything is a float on purpose — :mod:`repro.obs.promtext`
+        renders floats as gauges, and every ``slo`` value (including the
+        0/1 ``met`` flag) is a level, not a monotone count.
+        """
+        evaluation = self.evaluate(snapshot)
+        gauges: dict[str, Any] = {"worst_burn_rate": float(evaluation["worst_burn_rate"])}
+        for entry in evaluation["objectives"]:
+            per_objective: dict[str, float] = {
+                "value": float(entry["value"]),
+                "target": float(entry["target"]),
+                "met": 1.0 if entry["met"] else 0.0,
+            }
+            for label, window in entry["windows"].items():
+                per_objective[f"burn_rate_{label}"] = float(window["burn_rate"])
+            gauges[entry["name"]] = per_objective
+        return {"slo": gauges}

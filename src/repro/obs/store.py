@@ -148,11 +148,24 @@ class TraceStore:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict[str, int]:
+        """Retention accounting: traces seen, retained, and both capacities.
+
+        ``retained`` counts *distinct* traces (a slow exemplar usually also
+        sits in the recent ring until it ages out).  This dict is what the
+        admin server's ``/traces`` view and the tracer's Prometheus
+        exposition surface, so a scraper can watch churn (``added``) and
+        saturation (sizes vs. capacities) without pulling trace bodies.
+        """
         with self._lock:
+            distinct = {trace.trace_id for trace in self._recent}
+            distinct.update(trace.trace_id for _d, _t, trace in self._slow)
             return {
                 "added": self._added,
+                "retained": len(distinct),
                 "slow_retained": len(self._slow),
                 "recent_retained": len(self._recent),
+                "max_slow": self.max_slow,
+                "max_recent": self.max_recent,
             }
 
 

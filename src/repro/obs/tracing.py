@@ -34,6 +34,7 @@ from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.sampling import Sampler
     from repro.obs.store import TraceStore
     from repro.service.metrics import MetricsRegistry
 
@@ -61,6 +62,7 @@ class Span:
         "start_seconds",
         "end_seconds",
         "attributes",
+        "recording",
         "_tracer",
         "_token",
     )
@@ -77,6 +79,7 @@ class Span:
         parent_id: str | None,
         start_seconds: float,
         attributes: dict[str, Any],
+        recording: bool = True,
     ):
         self._tracer = tracer
         self.name = name
@@ -86,6 +89,11 @@ class Span:
         self.start_seconds = start_seconds
         self.end_seconds: float | None = None
         self.attributes = attributes
+        #: Per-trace sampling bit: a head-dropped root keeps timing itself
+        #: (the stage histogram and tail-keep rules need the duration) but
+        #: spawns no child spans, so an unsampled trace costs near-zero
+        #: beyond its root.
+        self.recording = recording
         self._token = None
 
     # ----------------------------------------------------------- properties
@@ -152,6 +160,7 @@ class _NullSpan:
     __slots__ = ()
 
     enabled = False
+    recording = False
     name = ""
     trace_id = ""
     span_id = ""
@@ -240,6 +249,7 @@ class Tracer:
         store: "TraceStore | None" = None,
         writer: Any = None,
         metrics: "MetricsRegistry | None" = None,
+        sampler: "Sampler | None" = None,
         max_spans_per_trace: int = 512,
         clock: Callable[[], float] = time.perf_counter,
     ):
@@ -259,6 +269,8 @@ class Tracer:
         #: Anything with ``write(trace)`` — normally a TraceLogWriter.
         self.writer = writer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: ``None`` means "record every trace" (the pre-sampling behaviour).
+        self.sampler = sampler
         self.max_spans_per_trace = max_spans_per_trace
         self._clock = clock
         self._lock = threading.Lock()
@@ -304,12 +316,25 @@ class Tracer:
                 parent_span = None
             if parent_span is None:
                 return NULL_SPAN
+            # Children of a head-dropped (undecided) trace are suppressed:
+            # the trace either dies at root-finish or is tail-kept as a
+            # partial (root-only) trace, so recording them would be waste.
+            if not parent_span.recording:
+                return NULL_SPAN
         now = self._clock()
+        recording = True
         if parent_span is None:
             trace_id = f"t-{next(_TRACE_IDS):08d}"
             parent_id = None
-            with self._lock:
-                self._live[trace_id] = []
+            if self.sampler is not None:
+                # Head decision, once per trace, on the request id when the
+                # caller supplied one (deterministic across processes) or
+                # the trace id otherwise.
+                key = attributes.get("request_id")
+                recording = self.sampler.sample_head(str(key) if key is not None else trace_id)
+            if recording:
+                with self._lock:
+                    self._live[trace_id] = []
         else:
             trace_id = parent_span.trace_id
             parent_id = parent_span.span_id
@@ -321,6 +346,7 @@ class Tracer:
             parent_id,
             now,
             dict(attributes),
+            recording,
         )
 
     def record_span(
@@ -335,7 +361,7 @@ class Tracer:
         """Record an already-timed span (used by the micro-batch flush,
         where the work ran on the scheduler thread against a parent that
         was captured on the submitting thread)."""
-        if not self._enabled or parent is None or not parent.enabled:
+        if not self._enabled or parent is None or not parent.enabled or not parent.recording:
             return NULL_SPAN
         span = Span(
             self,
@@ -371,6 +397,9 @@ class Tracer:
             return
         span.end_seconds = self._clock() if end_seconds is None else end_seconds
         self.metrics.histogram(f"stage.{span.name}").record(span.duration_seconds)
+        if span.parent_id is None and not span.recording:
+            self._finish_undecided_root(span)
+            return
         completed: list[Span] | None = None
         with self._lock:
             buffer = self._live.get(span.trace_id)
@@ -384,16 +413,66 @@ class Tracer:
         if completed is not None:
             from repro.obs.store import Trace
 
+            if self.sampler is not None:
+                span.attributes.setdefault("sampled", "head")
+                self.sampler.record_kept("head")
             trace = Trace(trace_id=span.trace_id, root=span, spans=completed)
             self.metrics.counter("tracer.traces").increment()
             self.store.add(trace)
             if self.writer is not None:
                 self.writer.write(trace)
 
+    def _finish_undecided_root(self, span: Span) -> None:
+        """Tail decision for a head-dropped trace, at root-finish.
+
+        The undecided trace was buffered as just its root span; the tail
+        rules may still retain it (slow / rejected / error) as a partial
+        trace, otherwise the whole trace vanishes and only the sampler's
+        ``dropped`` counter remembers it.
+        """
+        sampler = self.sampler
+        reason = sampler.tail_keep_reason(span) if sampler is not None else None
+        if reason is None:
+            if sampler is not None:
+                sampler.record_dropped()
+            return
+        span.attributes.setdefault("sampled", f"tail_{reason}")
+        span.attributes.setdefault("sampled_partial", True)
+        from repro.obs.store import Trace
+
+        trace = Trace(trace_id=span.trace_id, root=span, spans=[span])
+        self.metrics.counter("tracer.traces").increment()
+        sampler.record_kept(reason)
+        self.store.add(trace)
+        if self.writer is not None:
+            self.writer.write(trace)
+
     # --------------------------------------------------------------- export
     def stage_snapshot(self) -> dict[str, object]:
-        """Per-stage histograms and tracer counters as one metrics dict."""
-        return self.metrics.snapshot()
+        """Per-stage histograms, tracer counters, retention and sampling stats.
+
+        Everything a scraper needs from the tracing side in one dict:
+        the ``stage.*`` histograms, the ``tracer.*`` counters (always
+        present, even at zero, so dashboards can rely on them), the
+        :class:`TraceStore` retention stats as ``store.*`` (sizes are
+        floats so they render as gauges, not counters), and the sampler's
+        kept/dropped accounting under ``sampler.*``.
+        """
+        payload = self.metrics.snapshot()
+        payload.setdefault("tracer.traces", 0)
+        payload.setdefault("tracer.spans_dropped", 0)
+        stats = self.store.stats()
+        payload["store"] = {
+            "traces_seen": stats["added"],
+            "traces_retained": float(stats["retained"]),
+            "slow_heap_size": float(stats["slow_retained"]),
+            "recent_ring_size": float(stats["recent_retained"]),
+            "slow_heap_capacity": float(stats["max_slow"]),
+            "recent_ring_capacity": float(stats["max_recent"]),
+        }
+        if self.sampler is not None:
+            payload["sampler"] = self.sampler.snapshot()
+        return payload
 
 
 # ---------------------------------------------------------------- process-global

@@ -93,6 +93,16 @@ class MicroBatcher:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(plan_pair).result()
 
+    @property
+    def alive(self) -> bool:
+        """Whether the scheduler thread is up and accepting submissions.
+
+        This is the liveness signal the admin ``/healthz`` endpoint
+        reports: a dead scheduler thread means every future-returning
+        submit would hang, which must surface as unhealthy.
+        """
+        return self._thread.is_alive() and not self._closed.is_set()
+
     def close(self) -> None:
         """Stop the scheduler thread; fails any still-queued requests."""
         with self._submit_lock:

@@ -18,7 +18,12 @@ The knobs group into four concerns:
   ``batch_max_wait_seconds`` coalescing window (the window only applies
   once concurrent arrivals are observed; a lone request flushes
   immediately);
-* **retrieval** — ``top_k`` entries fetched from the knowledge base.
+* **retrieval** — ``top_k`` entries fetched from the knowledge base;
+* **observability** — ``admin_port`` / ``admin_host``: when ``admin_port``
+  is set (``0`` picks an ephemeral port) the service starts an embedded
+  :class:`~repro.obs.server.AdminServer` exposing ``/metrics``,
+  ``/healthz``, ``/readyz``, ``/traces``, and ``/slo`` over HTTP, and an
+  :class:`~repro.obs.slo.SLOTracker` with the default objectives.
 """
 
 from __future__ import annotations
@@ -41,6 +46,9 @@ class ServiceConfig:
     batch_max_size: int = 16
     batch_max_wait_seconds: float = 0.002
     quantize_embedding_cache: bool = False
+    #: ``None`` disables the admin HTTP server; ``0`` binds an ephemeral port.
+    admin_port: int | None = None
+    admin_host: str = "127.0.0.1"
 
     def with_overrides(self, **overrides: object) -> "ServiceConfig":
         """A copy with the non-``None`` overrides applied.

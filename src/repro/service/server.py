@@ -20,7 +20,13 @@ production-shaped request path:
   remaining stages; a request whose latency budget expires while queued is
   completed with ``DEADLINE_EXCEEDED`` rather than doing dead work;
 * **telemetry** — counters and p50/p95/p99 latency histograms exported as
-  one dict by :meth:`ExplanationService.metrics_snapshot`.
+  one dict by :meth:`ExplanationService.metrics_snapshot`;
+* **admin plane** — with ``ServiceConfig(admin_port=...)`` the service
+  starts an embedded :class:`~repro.obs.server.AdminServer` serving
+  ``/metrics`` (Prometheus text), ``/healthz`` / ``/readyz`` (typed health
+  checks via :meth:`ExplanationService.health_report`), ``/traces`` (the
+  live tracer's retained traces), and ``/slo`` (burn-rate evaluation of
+  the default objectives).
 """
 
 from __future__ import annotations
@@ -84,6 +90,8 @@ class ExplanationService:
         batch_max_size: int | None = None,
         batch_max_wait_seconds: float | None = None,
         quantize_embedding_cache: bool | None = None,
+        admin_port: int | None = None,
+        admin_host: str | None = None,
     ):
         self.config = (config or ServiceConfig()).with_overrides(
             top_k=top_k,
@@ -97,6 +105,8 @@ class ExplanationService:
             batch_max_size=batch_max_size,
             batch_max_wait_seconds=batch_max_wait_seconds,
             quantize_embedding_cache=quantize_embedding_cache,
+            admin_port=admin_port,
+            admin_host=admin_host,
         )
         resolved = self.config
         if resolved.max_workers < 1:
@@ -136,6 +146,88 @@ class ExplanationService:
         # Stale-data hooks: any DDL or knowledge write invalidates caches.
         knowledge_base.add_write_listener(self._on_kb_write)
         system.add_ddl_listener(self._on_ddl)
+        #: Embedded admin HTTP server and SLO tracker (None unless
+        #: ``admin_port`` is configured).
+        self.admin = None
+        self.slo = None
+        if resolved.admin_port is not None:
+            self._start_admin(resolved)
+
+    # ------------------------------------------------------------- admin plane
+    def _start_admin(self, resolved: ServiceConfig) -> None:
+        # Imported lazily: most deployments never start the admin plane,
+        # and repro.obs.server pulls in asyncio machinery this hot-path
+        # module otherwise does not need.
+        from repro.obs.server import AdminServer
+        from repro.obs.slo import SLOTracker
+
+        self.slo = SLOTracker()
+        self.admin = AdminServer(
+            host=resolved.admin_host,
+            port=resolved.admin_port,
+            # The tracer providers re-read get_tracer() per request so the
+            # endpoints follow `traced(...)` installs/restores live.
+            snapshot_providers=(
+                self.metrics_snapshot,
+                lambda: get_tracer().stage_snapshot(),
+            ),
+            health=self.health_report,
+            ready=lambda: self.health_report(readiness=True),
+            store_provider=lambda: get_tracer().store,
+            slo=self.slo,
+        )
+        self.admin.start()
+
+    def health_report(self, *, readiness: bool = False):
+        """Typed liveness (default) or readiness checks for the admin plane.
+
+        Liveness: the service accepts work and its background machinery
+        (worker pool, micro-batch scheduler) is running.  Readiness adds
+        load-dependent checks — the admission queue has capacity and the
+        caches are answering — so an orchestrator can pull a saturated
+        instance out of rotation without killing it.
+        """
+        from repro.obs.health import HealthCheck, HealthReport
+
+        checks = [
+            HealthCheck(
+                "service_open",
+                not self._closed,
+                "accepting requests" if not self._closed else "service is shut down",
+            ),
+            HealthCheck(
+                "worker_pool",
+                not self._closed,
+                f"{self.config.max_workers} workers configured",
+            ),
+            HealthCheck(
+                "batcher",
+                self.batcher.alive,
+                "scheduler thread running" if self.batcher.alive else "scheduler thread down",
+            ),
+        ]
+        if readiness:
+            with self._admission_lock:
+                in_flight = self._in_flight
+            checks.append(
+                HealthCheck(
+                    "queue_depth",
+                    in_flight < self.max_in_flight,
+                    f"{in_flight}/{self.max_in_flight} in flight",
+                )
+            )
+            cache_stats = self.cache.snapshot()
+            checks.append(
+                HealthCheck(
+                    "caches",
+                    True,
+                    "; ".join(
+                        f"{name}: {int(stats.get('size', 0))} entries"
+                        for name, stats in sorted(cache_stats.items())
+                    ),
+                )
+            )
+        return HealthReport(checks=tuple(checks))
 
     # ------------------------------------------------------------- invalidation
     def _on_kb_write(self, event: str, entry_id: str) -> None:
@@ -413,6 +505,8 @@ class ExplanationService:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and tear down the pool and the batcher."""
         self._closed = True
+        if self.admin is not None:
+            self.admin.stop()
         self._executor.shutdown(wait=wait)
         self.batcher.close()
         # Unhook the invalidation listeners so a discarded service does not

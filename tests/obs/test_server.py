@@ -1,0 +1,181 @@
+"""AdminServer unit tests: routing, status codes, lifecycle (stub providers)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.health import HealthCheck, HealthReport
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
+from repro.obs.slo import SLOTracker
+from repro.obs.store import TraceStore
+from repro.obs.tracing import Tracer
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type", ""), response.read().decode()
+
+
+def _get_error(url: str, *, method: str = "GET", data: bytes | None = None) -> int:
+    request = urllib.request.Request(url, data=data, method=method)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5)
+    return excinfo.value.code
+
+
+@pytest.fixture()
+def store() -> TraceStore:
+    store = TraceStore()
+    tracer = Tracer(enabled=True, store=store)
+    with tracer.span("service.explain", root=True, request_id="req-1"):
+        with tracer.span("pipeline.encode"):
+            pass
+    return store
+
+
+@pytest.fixture()
+def server(store: TraceStore):
+    admin = AdminServer(
+        port=0,
+        snapshot_providers=(
+            lambda: {"requests.ok": 3, "hit_rate": 0.5},
+            lambda: {"requests.submitted": 4},
+        ),
+        health=lambda: HealthReport(checks=(HealthCheck("alive", True, "up"),)),
+        ready=lambda: HealthReport(checks=(HealthCheck("queue_depth", False, "full"),)),
+        store_provider=lambda: store,
+        slo=SLOTracker(),
+    )
+    with admin:
+        yield admin
+
+
+# ------------------------------------------------------------------ lifecycle
+def test_ephemeral_port_is_bound(server: AdminServer):
+    assert server.port != 0
+    assert server.url == f"http://127.0.0.1:{server.port}"
+    assert server.running
+
+
+def test_start_twice_raises(server: AdminServer):
+    with pytest.raises(RuntimeError, match="already running"):
+        server.start()
+
+
+def test_stop_is_idempotent():
+    admin = AdminServer(port=0).start()
+    admin.stop()
+    assert not admin.running
+    admin.stop()  # second stop must not raise
+
+
+def test_bind_failure_surfaces(server: AdminServer):
+    clash = AdminServer(port=server.port)
+    with pytest.raises(RuntimeError, match="failed to bind"):
+        clash.start()
+
+
+# -------------------------------------------------------------------- routing
+def test_index_lists_endpoints(server: AdminServer):
+    status, _content_type, body = _get(server.url + "/")
+    assert status == 200
+    assert "/metrics" in json.loads(body)["endpoints"]
+
+
+def test_metrics_renders_prometheus_text(server: AdminServer):
+    status, content_type, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert content_type == PROMETHEUS_CONTENT_TYPE
+    assert "# TYPE repro_requests_ok counter" in body
+    assert "repro_requests_ok 3" in body
+    assert "repro_hit_rate 0.5" in body
+    assert "repro_requests_submitted 4" in body
+    # the attached SLO tracker is scraped too
+    assert "repro_slo_worst_burn_rate" in body
+
+
+def test_healthz_ok(server: AdminServer):
+    status, _content_type, body = _get(server.url + "/healthz")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["ok"] is True
+    assert payload["checks"][0]["name"] == "alive"
+
+
+def test_readyz_failing_check_is_503(server: AdminServer):
+    assert _get_error(server.url + "/readyz") == 503
+
+
+def test_readyz_falls_back_to_health():
+    admin = AdminServer(
+        port=0, health=lambda: HealthReport(checks=(HealthCheck("alive", True),))
+    )
+    with admin:
+        status, _content_type, body = _get(admin.url + "/readyz")
+    assert status == 200 and json.loads(body)["ok"] is True
+
+
+def test_health_without_provider_defaults_ok():
+    with AdminServer(port=0) as admin:
+        status, _content_type, body = _get(admin.url + "/healthz")
+    assert status == 200 and json.loads(body) == {"ok": True, "checks": []}
+
+
+def test_traces_listing_and_limit(server: AdminServer, store: TraceStore):
+    status, _content_type, body = _get(server.url + "/traces?limit=1")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["stats"]["added"] == 1
+    assert len(payload["recent"]) == 1
+    summary = payload["recent"][0]
+    assert summary["trace_id"] == store.traces()[0].trace_id
+    assert summary["span_count"] == 2
+
+
+def test_trace_by_id_and_missing(server: AdminServer, store: TraceStore):
+    trace_id = store.traces()[0].trace_id
+    status, _content_type, body = _get(f"{server.url}/traces/{trace_id}")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["trace_id"] == trace_id
+    assert len(payload["spans"]) == 2
+    assert _get_error(server.url + "/traces/t-does-not-exist") == 404
+
+
+def test_traces_404_without_store():
+    with AdminServer(port=0) as admin:
+        assert _get_error(admin.url + "/traces") == 404
+
+
+def test_slo_endpoint(server: AdminServer):
+    status, _content_type, body = _get(server.url + "/slo")
+    assert status == 200
+    payload = json.loads(body)
+    names = {entry["name"] for entry in payload["objectives"]}
+    assert names == {"request_latency", "availability"}
+    assert payload["windows_seconds"] == [60.0, 300.0, 1800.0]
+
+
+def test_slo_404_without_tracker():
+    with AdminServer(port=0) as admin:
+        assert _get_error(admin.url + "/slo") == 404
+
+
+def test_unknown_path_is_404(server: AdminServer):
+    assert _get_error(server.url + "/nope") == 404
+
+
+def test_post_is_405(server: AdminServer):
+    assert _get_error(server.url + "/metrics", method="POST", data=b"{}") == 405
+
+
+def test_provider_error_returns_500():
+    def broken() -> dict[str, int]:
+        raise RuntimeError("snapshot exploded")
+
+    with AdminServer(port=0, snapshot_providers=(broken,)) as admin:
+        assert _get_error(admin.url + "/metrics") == 500

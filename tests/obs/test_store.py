@@ -55,7 +55,14 @@ def test_sampling_split_retains_slow_outlier_after_ring_ages_out(clock: FakeCloc
     make_trace(tracer, clock, 9.0)  # the outlier
     for _ in range(10):
         make_trace(tracer, clock, 0.01)
-    assert store.stats() == {"added": 11, "slow_retained": 1, "recent_retained": 2}
+    assert store.stats() == {
+        "added": 11,
+        "retained": 3,
+        "slow_retained": 1,
+        "recent_retained": 2,
+        "max_slow": 1,
+        "max_recent": 2,
+    }
     assert store.slowest(1)[0].duration_seconds == pytest.approx(9.0)
     # traces() is the distinct union of both sides
     assert len(store.traces()) == 3
