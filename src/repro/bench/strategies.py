@@ -27,7 +27,12 @@ export one ``BENCH_<suite>.json`` per suite:
 * ``obs_overhead`` — the observability tax on the warm serve path:
   per-request latency with tracing off, fully traced, and 1%
   head-sampled, plus ``overhead_ratio.*`` scalars gating that the
-  instrumentation stays cheap and sampling keeps it near-free.
+  instrumentation stays cheap and sampling keeps it near-free;
+* ``sharded_kb`` — scatter-gather retrieval under a concurrent writer:
+  single-shard vs N-shard retrieval latency series with ``p50_speedup`` /
+  ``p95_speedup`` scalars, plus a flat-store equivalence check
+  (``topk_mismatch_errors``) proving sharded top-k returns the same ids
+  as the plain :class:`~repro.knowledge.knowledge_base.KnowledgeBase`.
 
 This module imports :mod:`repro.service` and is therefore *not* re-exported
 from ``repro.bench.__init__`` — the serving layer itself depends on
@@ -37,10 +42,14 @@ from ``repro.bench.__init__`` — the serving layer itself depends on
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from typing import Any
+
+import numpy as np
 
 from repro.bench.harness import ExperimentHarness
 from repro.bench.runner import (
@@ -208,7 +217,10 @@ class ServiceThroughputStrategy(ExperimentStrategy):
         self.max_workers = max_workers
 
     def default_config(self) -> ExperimentConfig:
-        return ExperimentConfig(runs=1, warmup_runs=0)
+        # Two pooled runs plus a warmup: a single unwarmed sample made the
+        # compare gate pure noise (every p50 was one measurement of a cold
+        # process), which is exactly what the runner's pooling exists to fix.
+        return ExperimentConfig(runs=2, warmup_runs=1)
 
     def setup(self, context: ExperimentContext) -> None:
         sqls = [labeled.sql for labeled in context.harness.dataset.test[: self.distinct_queries]]
@@ -576,6 +588,207 @@ class ObsOverheadStrategy(ExperimentStrategy):
         )
 
 
+class ShardedKBStrategy(ExperimentStrategy):
+    """Scatter-gather retrieval vs the single shared lock, under writes.
+
+    Two phases per run:
+
+    * **Equivalence** (flat stores, no writer): the sharded KB must return
+      the *same ordered top-k ids* as a plain :class:`KnowledgeBase` for
+      every query — any difference increments ``topk_mismatch_errors``,
+      which the compare gate holds at exactly zero.
+    * **Contention** (HNSW stores): time the same retrieval workload
+      against the plain single-lock :class:`KnowledgeBase` and an N-shard
+      :class:`ShardedKnowledgeBase` while a writer thread bulk-ingests
+      batches of entries (the expert feedback loop importing corrections).
+      On the plain KB each ``add_many`` holds the one writer-preferring
+      lock for the *entire batch* of expensive HNSW inserts, stalling every
+      retrieval that arrives meanwhile; sharded, the batch write locks one
+      shard per entry in short increments, so retrieval waits for at most
+      an insert or two on the shard it collides with.  ``p50_speedup`` /
+      ``p95_speedup`` (single-shard latency over sharded latency) are the
+      gated scalars; the acceptance bar is p95 ≥ 2×.
+    """
+
+    name = "sharded_kb"
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        entry_pool: int = 480,
+        queries: int = 24,
+        timed_retrievals: int = 100,
+        k: int = 5,
+        writer_batch: int = 48,
+        writer_pause_seconds: float = 0.001,
+        max_extra_entries: int = 96,
+    ):
+        self.num_shards = num_shards
+        self.entry_pool = entry_pool
+        self.queries = queries
+        self.timed_retrievals = timed_retrievals
+        self.k = k
+        self.writer_batch = writer_batch
+        self.writer_pause_seconds = writer_pause_seconds
+        self.max_extra_entries = max_extra_entries
+
+    def default_config(self) -> ExperimentConfig:
+        # Three runs: the p50 scalar is then a true median, insulating the
+        # gate from one run where the writer happened to miss most of the
+        # timed retrievals.
+        return ExperimentConfig(runs=3, warmup_runs=1)
+
+    def setup(self, context: ExperimentContext) -> None:
+        base = context.harness.knowledge_base.entries()
+        if not base:
+            raise ValueError("harness knowledge base is empty")
+        rng = np.random.default_rng(context.harness.seed)
+        dim = base[0].embedding.shape[0]
+        entries = []
+        for i in range(self.entry_pool):
+            source = base[i % len(base)]
+            entries.append(
+                dataclasses.replace(
+                    source,
+                    entry_id=f"shardbench-{i}",
+                    embedding=source.embedding + rng.normal(0.0, 0.05, size=dim),
+                )
+            )
+        context.state["entries"] = entries
+        context.state["queries"] = [
+            base[i % len(base)].embedding + rng.normal(0.0, 0.1, size=dim)
+            for i in range(self.queries)
+        ]
+        # A dedicated pool the writer thread inserts from (unique ids per
+        # phase so single-shard and sharded phases see identical writes).
+        context.state["writer_rng_seed"] = int(rng.integers(0, 2**31))
+
+    # ----------------------------------------------------------- equivalence
+    def _check_equivalence(self, context: ExperimentContext) -> int:
+        from repro.knowledge.knowledge_base import KnowledgeBase
+        from repro.knowledge.sharding import ShardedKnowledgeBase
+
+        entries = context.state["entries"]
+        plain = KnowledgeBase()
+        plain.add_many(entries)
+        sharded = ShardedKnowledgeBase(self.num_shards)
+        sharded.add_many(entries)
+        mismatches = 0
+        try:
+            for query in context.state["queries"]:
+                expected = [hit.entry.entry_id for hit in plain.retrieve(query, k=self.k).hits]
+                got = [hit.entry.entry_id for hit in sharded.retrieve(query, k=self.k).hits]
+                if expected != got:
+                    mismatches += 1
+        finally:
+            sharded.close()
+        return mismatches
+
+    # ------------------------------------------------------------ contention
+    def _timed_phase(self, context: ExperimentContext, shards: int, phase: str) -> tuple[list[float], int]:
+        """Retrieval latencies under a bulk-ingesting writer thread.
+
+        ``shards == 1`` drives the plain single-lock
+        :class:`~repro.knowledge.knowledge_base.KnowledgeBase` — the exact
+        baseline the sharded layer replaces; otherwise an N-shard
+        :class:`~repro.knowledge.sharding.ShardedKnowledgeBase`.  Both see
+        the identical write workload: batches of HNSW inserts (the
+        expensive path) with the oldest extras removed to bound growth and
+        keep the tombstone/ef-inflation path exercised under load.
+        """
+        from repro.knowledge.knowledge_base import KnowledgeBase
+        from repro.knowledge.sharding import ShardedKnowledgeBase
+        from repro.knowledge.vector_store import HNSWVectorStore
+
+        entries = context.state["entries"]
+        queries = context.state["queries"]
+        factory = lambda: HNSWVectorStore(M=8, ef_construction=48, ef_search=24)  # noqa: E731
+        if shards == 1:
+            kb: Any = KnowledgeBase(vector_store=factory())
+        else:
+            kb = ShardedKnowledgeBase(shards, store_factory=factory)
+        kb.add_many(entries)
+        rng = np.random.default_rng(context.state["writer_rng_seed"])
+        dim = entries[0].embedding.shape[0]
+        stop = threading.Event()
+        writes = 0
+
+        def writer() -> None:
+            nonlocal writes
+            live: list[str] = []
+            serial = 0
+            while not stop.is_set():
+                batch = []
+                for _ in range(self.writer_batch):
+                    source = entries[serial % len(entries)]
+                    batch.append(
+                        dataclasses.replace(
+                            source,
+                            entry_id=f"writer-{phase}-{serial}",
+                            embedding=source.embedding + rng.normal(0.0, 0.05, size=dim),
+                        )
+                    )
+                    serial += 1
+                kb.add_many(batch)
+                live.extend(entry.entry_id for entry in batch)
+                writes += len(batch)
+                while len(live) > self.max_extra_entries:
+                    kb.remove(live.pop(0))
+                    writes += 1
+                if self.writer_pause_seconds:
+                    time.sleep(self.writer_pause_seconds)
+
+        # Warm the retrieval path (and the sharded fan-out pool) before the
+        # writer starts, so thread spin-up never lands in the timed series.
+        for _ in range(3):
+            kb.retrieve(queries[0], k=self.k)
+        thread = threading.Thread(target=writer, name=f"kb-writer-{phase}", daemon=True)
+        thread.start()
+        latencies: list[float] = []
+        try:
+            for i in range(self.timed_retrievals):
+                query = queries[i % len(queries)]
+                start = time.perf_counter()
+                kb.retrieve(query, k=self.k)
+                latencies.append(time.perf_counter() - start)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+            if shards > 1:
+                kb.close()
+        return latencies, writes
+
+    @staticmethod
+    def _quantile(values: list[float], q: float) -> float:
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def execute(self, context: ExperimentContext) -> RunResult:
+        mismatches = self._check_equivalence(context)
+        single, single_writes = self._timed_phase(context, 1, "single")
+        sharded, sharded_writes = self._timed_phase(context, self.num_shards, "sharded")
+        single_p50 = self._quantile(single, 0.50)
+        single_p95 = self._quantile(single, 0.95)
+        sharded_p50 = self._quantile(sharded, 0.50)
+        sharded_p95 = self._quantile(sharded, 0.95)
+        return RunResult(
+            metrics={
+                "retrieve_seconds.single_shard": single,
+                "retrieve_seconds.sharded": sharded,
+                "p50_speedup": single_p50 / sharded_p50 if sharded_p50 > 0 else 0.0,
+                "p95_speedup": single_p95 / sharded_p95 if sharded_p95 > 0 else 0.0,
+            },
+            counters={
+                "topk_mismatch_errors": mismatches,
+                "equivalence_queries": len(context.state["queries"]),
+                "writer_ops_single_shard": single_writes,
+                "writer_ops_sharded": sharded_writes,
+            },
+            operations=2 * self.timed_retrievals + len(context.state["queries"]),
+        )
+
+
 def build_suites(
     only: tuple[str, ...] | None = None,
 ) -> dict[str, ExperimentStrategy]:
@@ -588,6 +801,7 @@ def build_suites(
         StageBreakdownStrategy(),
         ColdPathStrategy(),
         ObsOverheadStrategy(),
+        ShardedKBStrategy(),
     )
     registry = {strategy.name: strategy for strategy in strategies}
     if only is None:

@@ -178,10 +178,18 @@ class RagExplainer:
         with get_tracer().span("pipeline.encode", batched=False):
             return self.router.timed_embed(plan_pair)
 
-    def retrieve_stage(self, embedding: np.ndarray) -> RetrievalResult:
-        """Stage 2: top-K knowledge retrieval for an embedding."""
+    def retrieve_stage(self, embedding: np.ndarray, *, tenant: str | None = None) -> RetrievalResult:
+        """Stage 2: top-K knowledge retrieval for an embedding.
+
+        ``tenant`` scopes retrieval to one namespace of a
+        :class:`~repro.knowledge.sharding.ShardedKnowledgeBase`; leave it
+        ``None`` for a plain (un-namespaced) knowledge base.
+        """
         with get_tracer().span("pipeline.retrieve", top_k=self.top_k) as span:
-            retrieval = self.knowledge_base.retrieve(embedding, k=self.top_k)
+            if tenant is None:
+                retrieval = self.knowledge_base.retrieve(embedding, k=self.top_k)
+            else:
+                retrieval = self.knowledge_base.retrieve(embedding, k=self.top_k, tenant=tenant)
             span.set_attribute("hits", len(retrieval.hits))
             return retrieval
 

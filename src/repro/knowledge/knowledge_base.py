@@ -149,22 +149,38 @@ class KnowledgeBase:
             return list(self._entries.values())
 
     # ---------------------------------------------------------------- retrieve
+    def search_entries(
+        self, embedding: np.ndarray, k: int
+    ) -> tuple[list[tuple[KnowledgeEntry, float]], float]:
+        """Raw top-K ``(entry, distance)`` pairs plus the in-lock search time.
+
+        The locked building block under :meth:`retrieve` — also what a
+        sharded wrapper calls per shard, so each shard search holds only
+        that shard's read lock.
+        """
+        with self._lock.read_locked():
+            start = time.perf_counter()
+            raw: list[SearchResult] = self.vector_store.search(
+                np.asarray(embedding, dtype=np.float64), k
+            )
+            elapsed = time.perf_counter() - start
+            pairs = [
+                (self._entries[result.key], result.distance)
+                for result in raw
+                if result.key in self._entries
+            ]
+        return pairs, elapsed
+
     def retrieve(self, embedding: np.ndarray, k: int = 2) -> RetrievalResult:
         """Top-K most similar historical plan pairs for ``embedding``.
 
         ``k=2`` is the paper's default retrieval depth.
         """
         with get_tracer().span("kb.retrieve", k=k) as span:
-            with self._lock.read_locked():
-                start = time.perf_counter()
-                raw: list[SearchResult] = self.vector_store.search(
-                    np.asarray(embedding, dtype=np.float64), k
-                )
-                elapsed = time.perf_counter() - start
-                hits = [
-                    RetrievedKnowledge(entry=self._entries[result.key], distance=result.distance, rank=rank)
-                    for rank, result in enumerate(raw, start=1)
-                    if result.key in self._entries
-                ]
+            pairs, elapsed = self.search_entries(embedding, k)
+            hits = [
+                RetrievedKnowledge(entry=entry, distance=distance, rank=rank)
+                for rank, (entry, distance) in enumerate(pairs, start=1)
+            ]
             span.set_attribute("hits", len(hits))
             return RetrievalResult(hits=hits, search_seconds=elapsed)

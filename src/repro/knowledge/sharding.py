@@ -1,0 +1,564 @@
+"""Sharded, multi-tenant knowledge base (horizontal-scale serving).
+
+PR 2 made :class:`~repro.knowledge.knowledge_base.KnowledgeBase` thread-safe
+behind one writer-preferring read–write lock — which means every expert
+write momentarily serializes *all* retrieval.  This module removes that
+single choke point:
+
+* :class:`ConsistentHashRing` — entry keys are consistent-hashed (virtual
+  nodes, stable blake2b) across N shards, so adding or removing a shard
+  moves only ~K/N keys instead of reshuffling everything;
+* :class:`ShardedKnowledgeBase` — N independent
+  :class:`~repro.knowledge.knowledge_base.KnowledgeBase` shards, each with
+  its own :class:`~repro.knowledge.vector_store.VectorStore` and its own
+  read–write lock.  Retrieval is scatter-gather: ``search`` fans out to
+  every shard (in parallel once there is more than one), results merge by
+  distance, and a write now locks only the one shard that owns its key —
+  reads on the other N−1 shards proceed untouched.  The per-shard searches
+  go through the unchanged ``VectorStore.search``, so the HNSW
+  tombstone-inflation and batched-kernel paths from PR 8 apply per shard;
+* **tenant namespaces** — every operation takes a ``tenant``; the tenant id
+  is folded into the shard hash and each (shard, tenant) pair owns a
+  private ``KnowledgeBase``, so one tenant's entries are invisible to
+  another's retrieval and a tenant's writes contend only with that
+  tenant's readers on one shard.  The default namespace doubles as the
+  shared corpus: tenant retrieval searches it too (tenant entries shadow
+  shared ones by id), so tenants are grounded without seeding each
+  namespace separately.
+
+Concurrency model: reads (``retrieve`` / ``get`` / ``entries``) never take
+a sharded-level lock — they snapshot the copy-on-write topology dicts and
+rely on each shard's own read–write lock.  Writes and topology changes
+(``add_shard`` / ``remove_shard``) serialize on one sharded-level mutex.
+During a rebalance an entry is added to its new shard *before* being
+removed from the old one, so retrieval never misses it (the scatter-gather
+merge deduplicates the transient double appearance).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.knowledge_base import (
+    KnowledgeBase,
+    RetrievalResult,
+    RetrievedKnowledge,
+)
+from repro.knowledge.vector_store import FlatVectorStore, VectorStore
+from repro.obs.tracing import get_tracer
+
+#: Tenant every un-namespaced operation belongs to.  Folding this tenant
+#: into a fingerprint or shard hash is defined to be a no-op, so
+#: single-tenant deployments produce byte-identical keys to the
+#: pre-tenancy code.
+DEFAULT_TENANT = "default"
+
+#: Signature of a sharded write listener: ``(event, entry_id, tenant)``.
+TenantWriteListener = Callable[[str, str, str], None]
+
+
+def namespaced_key(tenant: str, entry_id: str) -> str:
+    """The ring key for one entry: the tenant folded into the entry id."""
+    return f"{tenant}::{entry_id}"
+
+
+def _stable_hash(text: str) -> int:
+    """Process- and version-stable 64-bit hash (``hash()`` is salted)."""
+    return int.from_bytes(hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring; a key belongs to
+    the shard owning the first point at or after the key's hash (wrapping
+    at the top).  Virtual nodes keep the assignment uniform within a few
+    percent, and adding or removing one shard only reassigns the keys in
+    the arcs its points covered — the bounded-movement property the
+    rebalance tests gate.
+    """
+
+    def __init__(self, shards: tuple[str, ...] | list[str] = (), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._shards: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        for name in shards:
+            self.add_shard(name)
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def add_shard(self, name: str) -> None:
+        if name in self._shards:
+            raise ValueError(f"shard {name!r} already on the ring")
+        self._shards.add(name)
+        for replica in range(self.vnodes):
+            bisect.insort(self._points, (_stable_hash(f"{name}#{replica}"), name))
+        self._hashes = [point for point, _shard in self._points]
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise KeyError(f"unknown shard {name!r}")
+        self._shards.discard(name)
+        self._points = [(point, shard) for point, shard in self._points if shard != name]
+        self._hashes = [point for point, _shard in self._points]
+
+    def shard_for(self, key: str) -> str:
+        if not self._points:
+            raise RuntimeError("ring has no shards")
+        index = bisect.bisect_right(self._hashes, _stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def copy(self) -> "ConsistentHashRing":
+        """An independent ring with the same shards (for copy-on-write
+        topology changes: mutate the copy, then swap the reference)."""
+        duplicate = ConsistentHashRing(vnodes=self.vnodes)
+        duplicate._shards = set(self._shards)
+        duplicate._points = list(self._points)
+        duplicate._hashes = list(self._hashes)
+        return duplicate
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one ``add_shard`` / ``remove_shard`` topology change did."""
+
+    shard: str
+    moved_entries: int
+    total_entries: int
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.moved_entries / self.total_entries if self.total_entries else 0.0
+
+
+class ShardedKnowledgeBase:
+    """N knowledge-base shards behind one consistent-hash ring.
+
+    Duck-type compatible with the single
+    :class:`~repro.knowledge.knowledge_base.KnowledgeBase` (``add`` /
+    ``remove`` / ``correct`` / ``get`` / ``retrieve`` / ``entries`` /
+    ``__len__`` / ``__contains__``), with every method taking an optional
+    ``tenant`` keyword (default :data:`DEFAULT_TENANT`).
+
+    ``store_factory`` builds the vector store for each (shard, tenant)
+    namespace — pass ``lambda: HNSWVectorStore(...)`` for the approximate
+    index; the default is an exact :class:`FlatVectorStore`, under which
+    scatter-gather top-k is provably identical to a single flat store.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        *,
+        store_factory: Callable[[], VectorStore] | None = None,
+        vnodes: int = 64,
+        fanout_workers: int | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self._store_factory = store_factory or FlatVectorStore
+        self._ring = ConsistentHashRing(vnodes=vnodes)
+        #: shard name -> tenant -> KnowledgeBase; both levels copy-on-write.
+        self._shards: dict[str, dict[str, KnowledgeBase]] = {}
+        self._write_lock = threading.RLock()
+        self._listeners: list[TenantWriteListener] = []
+        self._next_shard_index = 0
+        self._rebalances = 0
+        self._fanout_workers = fanout_workers
+        self._fanout: ThreadPoolExecutor | None = None
+        self._fanout_lock = threading.Lock()
+        for _ in range(num_shards):
+            name = self._next_name()
+            self._shards[name] = {}
+            self._ring.add_shard(name)
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_knowledge_base(
+        cls,
+        knowledge_base: KnowledgeBase,
+        num_shards: int,
+        *,
+        store_factory: Callable[[], VectorStore] | None = None,
+        vnodes: int = 64,
+        tenant: str = DEFAULT_TENANT,
+    ) -> "ShardedKnowledgeBase":
+        """Shard an existing single knowledge base's entries.
+
+        The default ``store_factory`` is an exact flat store with the
+        source store's metric, so retrieval results stay identical to the
+        source.  The source instance is not mutated, but callers should
+        stop writing to it — writes belong on the sharded instance now.
+        """
+        if store_factory is None:
+            metric = knowledge_base.vector_store.metric
+            store_factory = lambda: FlatVectorStore(metric)  # noqa: E731
+        sharded = cls(num_shards=num_shards, store_factory=store_factory, vnodes=vnodes)
+        sharded.add_many(knowledge_base.entries(), tenant=tenant)
+        return sharded
+
+    def _next_name(self) -> str:
+        name = f"shard-{self._next_shard_index}"
+        self._next_shard_index += 1
+        return name
+
+    # ---------------------------------------------------------------- listeners
+    def add_write_listener(self, listener: TenantWriteListener) -> None:
+        """Register a ``(event, entry_id, tenant)`` callback fired after
+        every successful write (rebalance moves do not fire — they change
+        placement, not content)."""
+        self._listeners.append(listener)
+
+    def remove_write_listener(self, listener: TenantWriteListener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, event: str, entry_id: str, tenant: str) -> None:
+        for listener in list(self._listeners):
+            listener(event, entry_id, tenant)
+
+    # ----------------------------------------------------------------- topology
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def tenants(self) -> tuple[str, ...]:
+        seen: set[str] = set()
+        for tenant_kbs in self._shards.values():
+            seen.update(tenant_kbs)
+        return tuple(sorted(seen))
+
+    def shard_sizes(self, *, tenant: str | None = None) -> dict[str, int]:
+        """Entry count per shard (one tenant's, or all tenants summed)."""
+        sizes: dict[str, int] = {}
+        for name, tenant_kbs in sorted(self._shards.items()):
+            if tenant is None:
+                sizes[name] = sum(len(kb) for kb in tenant_kbs.values())
+            else:
+                kb = tenant_kbs.get(tenant)
+                sizes[name] = len(kb) if kb is not None else 0
+        return sizes
+
+    def stats(self) -> dict[str, object]:
+        """Numeric snapshot for the metrics exposition (``/metrics``)."""
+        sizes = self.shard_sizes()
+        return {
+            "num_shards": len(self._shards),
+            "entries": sum(sizes.values()),
+            "tenants": len(self.tenants()),
+            "rebalances": self._rebalances,
+            "shard_sizes": sizes,
+        }
+
+    # ----------------------------------------------------------- shard plumbing
+    def _kb_for_write(self, shard: str, tenant: str) -> KnowledgeBase:
+        """The (shard, tenant) namespace, created lazily.
+
+        Callers hold ``_write_lock``; both topology dicts are replaced
+        copy-on-write so lock-free readers never iterate a mutating dict.
+        """
+        tenant_kbs = self._shards[shard]
+        kb = tenant_kbs.get(tenant)
+        if kb is None:
+            kb = KnowledgeBase(vector_store=self._store_factory())
+            fresh_tenants = dict(tenant_kbs)
+            fresh_tenants[tenant] = kb
+            fresh_shards = dict(self._shards)
+            fresh_shards[shard] = fresh_tenants
+            self._shards = fresh_shards
+        return kb
+
+    def _kb_for_read(self, entry_id: str, tenant: str) -> KnowledgeBase | None:
+        """The namespace the ring says owns ``entry_id`` (may be absent)."""
+        shards = self._shards
+        shard = self._ring.shard_for(namespaced_key(tenant, entry_id))
+        tenant_kbs = shards.get(shard)
+        return None if tenant_kbs is None else tenant_kbs.get(tenant)
+
+    def _iter_tenant_kbs(self, tenant: str) -> Iterator[tuple[str, KnowledgeBase]]:
+        for name, tenant_kbs in sorted(self._shards.items()):
+            kb = tenant_kbs.get(tenant)
+            if kb is not None:
+                yield name, kb
+
+    # -------------------------------------------------------------------- write
+    def add(self, entry: KnowledgeEntry, *, tenant: str = DEFAULT_TENANT) -> None:
+        with self._write_lock:
+            shard = self._ring.shard_for(namespaced_key(tenant, entry.entry_id))
+            self._kb_for_write(shard, tenant).add(entry)
+        self._notify("add", entry.entry_id, tenant)
+
+    def add_many(self, entries: list[KnowledgeEntry], *, tenant: str = DEFAULT_TENANT) -> None:
+        with self._write_lock:
+            for entry in entries:
+                shard = self._ring.shard_for(namespaced_key(tenant, entry.entry_id))
+                self._kb_for_write(shard, tenant).add(entry)
+        for entry in entries:
+            self._notify("add", entry.entry_id, tenant)
+
+    def remove(self, entry_id: str, *, tenant: str = DEFAULT_TENANT) -> KnowledgeEntry:
+        with self._write_lock:
+            kb = self._kb_for_read(entry_id, tenant)
+            if kb is None or entry_id not in kb:
+                raise KeyError(f"unknown entry id {entry_id!r} for tenant {tenant!r}")
+            removed = kb.remove(entry_id)
+        self._notify("remove", entry_id, tenant)
+        return removed
+
+    def correct(
+        self,
+        entry_id: str,
+        corrected_explanation: str,
+        factors: tuple[str, ...] | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
+        with self._write_lock:
+            kb = self._kb_for_read(entry_id, tenant)
+            if kb is None or entry_id not in kb:
+                raise KeyError(f"unknown entry id {entry_id!r} for tenant {tenant!r}")
+            kb.correct(entry_id, corrected_explanation, factors)
+        self._notify("correct", entry_id, tenant)
+
+    # --------------------------------------------------------------------- read
+    def get(self, entry_id: str, *, tenant: str = DEFAULT_TENANT) -> KnowledgeEntry:
+        kb = self._kb_for_read(entry_id, tenant)
+        if kb is not None and entry_id in kb:
+            return kb.get(entry_id)
+        # Mid-rebalance the ring may already point at a shard the entry has
+        # not reached (or has just left); the fallback scan keeps lookups
+        # correct during the move window.
+        for _name, candidate in self._iter_tenant_kbs(tenant):
+            if entry_id in candidate:
+                return candidate.get(entry_id)
+        raise KeyError(f"unknown entry id {entry_id!r} for tenant {tenant!r}")
+
+    def __contains__(self, entry_id: str) -> bool:
+        return self.contains(entry_id)
+
+    def contains(self, entry_id: str, *, tenant: str = DEFAULT_TENANT) -> bool:
+        kb = self._kb_for_read(entry_id, tenant)
+        if kb is not None and entry_id in kb:
+            return True
+        return any(entry_id in candidate for _name, candidate in self._iter_tenant_kbs(tenant))
+
+    def __len__(self) -> int:
+        return sum(
+            len(kb) for tenant_kbs in self._shards.values() for kb in tenant_kbs.values()
+        )
+
+    def count(self, *, tenant: str = DEFAULT_TENANT) -> int:
+        return sum(len(kb) for _name, kb in self._iter_tenant_kbs(tenant))
+
+    def entries(self, *, tenant: str | None = None) -> list[KnowledgeEntry]:
+        collected: list[KnowledgeEntry] = []
+        for name, tenant_kbs in sorted(self._shards.items()):
+            for tenant_name, kb in sorted(tenant_kbs.items()):
+                if tenant is None or tenant_name == tenant:
+                    collected.extend(kb.entries())
+        return collected
+
+    # ----------------------------------------------------------------- retrieve
+    def _fanout_executor(self) -> ThreadPoolExecutor:
+        if self._fanout is None:
+            with self._fanout_lock:
+                if self._fanout is None:
+                    workers = self._fanout_workers or min(8, max(2, len(self._shards)))
+                    self._fanout = ThreadPoolExecutor(
+                        max_workers=workers, thread_name_prefix="kb-shard"
+                    )
+        return self._fanout
+
+    def retrieve(
+        self, embedding: np.ndarray, k: int = 2, *, tenant: str = DEFAULT_TENANT
+    ) -> RetrievalResult:
+        """Scatter-gather top-K across every shard holding the tenant.
+
+        The default namespace is the *shared corpus*: a non-default tenant
+        searches its own namespaces **plus** the default ones, so tenants
+        are grounded on the curated knowledge out of the box while their
+        private entries stay invisible to everyone else.  A tenant entry
+        shadows a shared entry with the same id.
+
+        Each shard is searched for its own top-K under that shard's read
+        lock (in parallel once more than one shard holds entries), the
+        per-shard hits merge by distance, and duplicates — possible only
+        transiently during a rebalance move — collapse to their best
+        distance.  A write in progress on one shard therefore delays only
+        that shard's branch of the gather.
+        """
+        query = np.asarray(embedding, dtype=np.float64)
+        tracer = get_tracer()
+        with tracer.span("kb.retrieve", k=k, tenant=tenant) as span:
+            start = time.perf_counter()
+            targets = [(name, kb, tenant) for name, kb in self._iter_tenant_kbs(tenant)]
+            if tenant != DEFAULT_TENANT:
+                targets.extend(
+                    (name, kb, DEFAULT_TENANT)
+                    for name, kb in self._iter_tenant_kbs(DEFAULT_TENANT)
+                )
+            if len(targets) > 1:
+                parent = tracer.current_span()
+                executor = self._fanout_executor()
+                futures = [
+                    executor.submit(self._search_shard, name, kb, query, k, namespace, parent)
+                    for name, kb, namespace in targets
+                ]
+                shard_hits = [
+                    (namespace, future.result())
+                    for (_name, _kb, namespace), future in zip(targets, futures)
+                ]
+            else:
+                shard_hits = [
+                    (namespace, self._search_shard(name, kb, query, k, namespace, None))
+                    for name, kb, namespace in targets
+                ]
+            # Merge priority: the tenant's own entry beats a shared entry
+            # with the same id; within a namespace, best distance wins
+            # (duplicates across shards happen only mid-rebalance).
+            merged: dict[str, tuple[int, float, KnowledgeEntry]] = {}
+            for namespace, pairs in shard_hits:
+                priority = 0 if namespace == tenant else 1
+                for entry, distance in pairs:
+                    known = merged.get(entry.entry_id)
+                    if (
+                        known is None
+                        or priority < known[0]
+                        or (priority == known[0] and distance < known[1])
+                    ):
+                        merged[entry.entry_id] = (priority, distance, entry)
+            ranked = sorted(
+                ((distance, entry) for _priority, distance, entry in merged.values()),
+                key=lambda item: (item[0], item[1].entry_id),
+            )[:k]
+            hits = [
+                RetrievedKnowledge(entry=entry, distance=float(distance), rank=rank)
+                for rank, (distance, entry) in enumerate(ranked, start=1)
+            ]
+            elapsed = time.perf_counter() - start
+            span.set_attributes(shard_fanout=len(targets), hits=len(hits))
+            return RetrievalResult(hits=hits, search_seconds=elapsed)
+
+    def _search_shard(
+        self,
+        shard_name: str,
+        kb: KnowledgeBase,
+        query: np.ndarray,
+        k: int,
+        tenant: str,
+        parent,
+    ) -> list[tuple[KnowledgeEntry, float]]:
+        tracer = get_tracer()
+        # Fan-out workers run on pool threads where the submitting request's
+        # ambient span is invisible; re-attach so kb.shard.search (and the
+        # store's kb.search below it) parent correctly.
+        if parent is not None:
+            with tracer.attach(parent):
+                return self._search_attached(shard_name, kb, query, k, tenant)
+        return self._search_attached(shard_name, kb, query, k, tenant)
+
+    def _search_attached(
+        self, shard_name: str, kb: KnowledgeBase, query: np.ndarray, k: int, tenant: str
+    ) -> list[tuple[KnowledgeEntry, float]]:
+        with get_tracer().span("kb.shard.search", shard=shard_name, tenant=tenant) as span:
+            pairs, search_seconds = kb.search_entries(query, k)
+            span.set_attributes(hits=len(pairs), search_ms=round(search_seconds * 1000.0, 4))
+            return pairs
+
+    # ---------------------------------------------------------------- rebalance
+    def add_shard(self, name: str | None = None) -> RebalanceReport:
+        """Grow the ring by one shard, moving only the keys it now owns.
+
+        Entries are added to the new shard before being removed from their
+        old one, so concurrent retrieval never misses them (the gather
+        deduplicates).  Returns how many entries moved — consistent
+        hashing bounds this near ``K / (N + 1)``.
+        """
+        with self._write_lock:
+            if name is None:
+                name = self._next_name()
+            elif name in self._shards:
+                raise ValueError(f"shard {name!r} already exists")
+            new_ring = self._ring.copy()
+            new_ring.add_shard(name)
+            fresh_shards = dict(self._shards)
+            fresh_shards[name] = {}
+            self._shards = fresh_shards
+            moved, total = self._move_entries(new_ring)
+            self._ring = new_ring
+            self._rebalances += 1
+            return RebalanceReport(shard=name, moved_entries=moved, total_entries=total)
+
+    def remove_shard(self, name: str) -> RebalanceReport:
+        """Shrink the ring by one shard, redistributing only its keys."""
+        with self._write_lock:
+            if name not in self._shards:
+                raise KeyError(f"unknown shard {name!r}")
+            if len(self._shards) == 1:
+                raise ValueError("cannot remove the last shard")
+            new_ring = self._ring.copy()
+            new_ring.remove_shard(name)
+            moved, total = self._move_entries(new_ring)
+            self._ring = new_ring
+            fresh_shards = dict(self._shards)
+            del fresh_shards[name]
+            self._shards = fresh_shards
+            self._rebalances += 1
+            return RebalanceReport(shard=name, moved_entries=moved, total_entries=total)
+
+    def _move_entries(self, new_ring: ConsistentHashRing) -> tuple[int, int]:
+        """Move every entry whose assignment changed under ``new_ring``.
+
+        Caller holds ``_write_lock``.  Add-before-remove: retrieval sees
+        the entry on at least one shard at every instant.
+        """
+        moves: list[tuple[str, KnowledgeBase, str, KnowledgeEntry]] = []
+        total = 0
+        for shard_name, tenant_kbs in list(self._shards.items()):
+            for tenant, kb in list(tenant_kbs.items()):
+                for entry in kb.entries():
+                    total += 1
+                    target = new_ring.shard_for(namespaced_key(tenant, entry.entry_id))
+                    if target != shard_name:
+                        moves.append((tenant, kb, target, entry))
+        for tenant, source_kb, target, entry in moves:
+            self._kb_for_write(target, tenant).add(entry)
+            source_kb.remove(entry.entry_id)
+        return len(moves), total
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the fan-out pool (idempotent; searches fall back to
+        sequential scatter if used afterwards)."""
+        with self._fanout_lock:
+            if self._fanout is not None:
+                self._fanout.shutdown(wait=False)
+                self._fanout = None
+
+    def __enter__(self) -> "ShardedKnowledgeBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

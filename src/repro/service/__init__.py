@@ -11,7 +11,10 @@ production-shaped serving layer:
 * :mod:`repro.service.cache` — L1 explanation / L2 plan+embedding LRU+TTL
   caches with hit/miss accounting and DDL / KB-write invalidation;
 * :mod:`repro.service.batching` — micro-batching scheduler driving
-  :meth:`~repro.router.router.SmartRouter.embed_batch`;
+  :meth:`~repro.router.router.SmartRouter.embed_batch`, fed through a
+  per-tenant weighted fair queue;
+* :mod:`repro.service.tenancy` — tenant registry, weights, and
+  token-bucket request quotas;
 * :mod:`repro.service.metrics` — counters and p50/p95/p99 latency
   histograms exported as a dict;
 * :mod:`repro.service.server` — :class:`ExplanationService`: worker pool,
@@ -25,16 +28,19 @@ from repro.service.api import (
     ServiceError,
     ServiceErrorCode,
 )
-from repro.service.batching import MicroBatcher
-from repro.service.cache import CacheStats, LRUTTLCache, ServiceCache
+from repro.service.batching import MicroBatcher, WeightedFairQueue
+from repro.service.cache import CacheLevels, CacheStats, LRUTTLCache, ServiceCache
 from repro.service.config import ServiceConfig
 from repro.service.fingerprint import normalize_sql, request_cache_key, sql_fingerprint
 from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
 from repro.service.server import ExplanationService
+from repro.service.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry, TokenBucket
 
 __all__ = [
+    "CacheLevels",
     "CacheStats",
     "Counter",
+    "DEFAULT_TENANT",
     "ExplainRequest",
     "ExplainResult",
     "ExplanationService",
@@ -47,6 +53,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceErrorCode",
+    "TenantConfig",
+    "TenantRegistry",
+    "TokenBucket",
+    "WeightedFairQueue",
     "normalize_sql",
     "request_cache_key",
     "sql_fingerprint",

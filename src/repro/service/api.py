@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING
 
+from repro.knowledge.sharding import DEFAULT_TENANT
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.explainer.pipeline import Explanation
 
@@ -39,6 +41,7 @@ class ServiceErrorCode(str, Enum):
 
     QUEUE_FULL = "queue_full"
     DEADLINE_EXCEEDED = "deadline_exceeded"
+    QUOTA_EXCEEDED = "quota_exceeded"
     SERVICE_CLOSED = "service_closed"
     INTERNAL_ERROR = "internal_error"
 
@@ -53,7 +56,11 @@ class ServiceError:
     @property
     def retryable(self) -> bool:
         """Whether retrying the same request later can succeed."""
-        return self.code in (ServiceErrorCode.QUEUE_FULL, ServiceErrorCode.DEADLINE_EXCEEDED)
+        return self.code in (
+            ServiceErrorCode.QUEUE_FULL,
+            ServiceErrorCode.DEADLINE_EXCEEDED,
+            ServiceErrorCode.QUOTA_EXCEEDED,
+        )
 
 
 @dataclass
@@ -65,6 +72,9 @@ class ExplainRequest:
     #: Wall-clock budget for the whole request (queueing included); ``None``
     #: means no deadline.
     deadline_seconds: float | None = None
+    #: Tenant namespace the request runs in — scopes cache keys, quota
+    #: accounting, fair-queue weight, and (when sharded) KB retrieval.
+    tenant: str = DEFAULT_TENANT
     request_id: str = field(default_factory=new_request_id)
     #: ``time.perf_counter()`` at admission, set by the service.
     submitted_at: float = field(default_factory=time.perf_counter)

@@ -13,19 +13,29 @@ whatever is already queued without waiting, so a lone cold request never
 pays the coalescing latency.  Only when that drain proves concurrent
 arrivals (more than one request, batch not yet full) does the scheduler
 hold the batch open for up to ``max_wait_seconds`` to catch stragglers.
+
+The pending queue is a :class:`WeightedFairQueue` (start-time fair
+queueing): each tenant's submissions carry a virtual finish tag advancing
+at ``1 / weight`` per request, and the scheduler always pops the smallest
+tag — so under contention a hot tenant flooding the batcher still drains
+interleaved with everyone else in proportion to weight instead of
+starving them.  With a single tenant the tags are monotone and the queue
+degrades to plain FIFO.
 """
 
 from __future__ import annotations
 
+import heapq
 import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 import numpy as np
 
+from repro.knowledge.sharding import DEFAULT_TENANT
 from repro.obs.tracing import NULL_SPAN, get_tracer
 from repro.service.metrics import MetricsRegistry
 
@@ -33,6 +43,58 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.htap.system import PlanPair
     from repro.obs.tracing import Span
     from repro.router.router import SmartRouter
+
+T = TypeVar("T")
+
+
+class WeightedFairQueue(Generic[T]):
+    """Blocking queue with per-tenant weighted fair ordering.
+
+    Start-time fair queueing: item ``i`` from a tenant gets finish tag
+    ``max(virtual_time, tenant_last_tag) + 1 / weight`` and :meth:`get`
+    pops the smallest tag (FIFO within a tenant, submission order as the
+    tiebreak).  Popping advances the virtual clock to the popped tag, so a
+    tenant idle for a while does not bank unbounded credit.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._last_tag: dict[str, float] = {}
+        self._virtual = 0.0
+        self._seq = 0
+        self._cond = threading.Condition()
+
+    def put(self, item: T, *, tenant: str = DEFAULT_TENANT, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        with self._cond:
+            tag = max(self._virtual, self._last_tag.get(tenant, 0.0)) + 1.0 / weight
+            self._last_tag[tenant] = tag
+            self._seq += 1
+            heapq.heappush(self._heap, (tag, self._seq, item))
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Pop the fairest pending item; raises :class:`queue.Empty` on
+        timeout like the stdlib queues."""
+        with self._cond:
+            if not self._heap and not self._cond.wait_for(lambda: bool(self._heap), timeout):
+                raise queue.Empty
+            tag, _seq, item = heapq.heappop(self._heap)
+            self._virtual = max(self._virtual, tag)
+            return item
+
+    def get_nowait(self) -> T:
+        with self._cond:
+            if not self._heap:
+                raise queue.Empty
+            tag, _seq, item = heapq.heappop(self._heap)
+            self._virtual = max(self._virtual, tag)
+            return item
+
+    def qsize(self) -> int:
+        with self._cond:
+            return len(self._heap)
 
 
 @dataclass
@@ -43,6 +105,7 @@ class _PendingEncode:
     #: flush (which runs on the scheduler thread, where contextvars from the
     #: submitter are invisible) can re-parent its span under the request.
     parent_span: "Span" = NULL_SPAN
+    tenant: str = DEFAULT_TENANT
 
 
 class MicroBatcher:
@@ -64,7 +127,7 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
         self.metrics = metrics or MetricsRegistry()
-        self._queue: "queue.SimpleQueue[_PendingEncode]" = queue.SimpleQueue()
+        self._queue: "WeightedFairQueue[_PendingEncode]" = WeightedFairQueue()
         self._closed = threading.Event()
         # Serializes the closed-check-then-enqueue in submit() against
         # close(), so no request can slip into the queue after the drain
@@ -76,22 +139,39 @@ class MicroBatcher:
         self._thread.start()
 
     # ----------------------------------------------------------------- public
-    def submit(self, plan_pair: "PlanPair") -> "Future[np.ndarray]":
-        """Enqueue one plan pair; the future resolves to its embedding row."""
+    def submit(
+        self,
+        plan_pair: "PlanPair",
+        *,
+        tenant: str = DEFAULT_TENANT,
+        weight: float = 1.0,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one plan pair; the future resolves to its embedding row.
+
+        ``tenant`` / ``weight`` feed the fair queue: under contention a
+        tenant's share of flush slots is proportional to its weight.
+        """
         pending = _PendingEncode(
             plan_pair=plan_pair,
             future=Future(),
             parent_span=get_tracer().current_span(),
+            tenant=tenant,
         )
         with self._submit_lock:
             if self._closed.is_set():
                 raise RuntimeError("MicroBatcher is closed")
-            self._queue.put(pending)
+            self._queue.put(pending, tenant=tenant, weight=weight)
         return pending.future
 
-    def encode(self, plan_pair: "PlanPair") -> np.ndarray:
+    def encode(
+        self,
+        plan_pair: "PlanPair",
+        *,
+        tenant: str = DEFAULT_TENANT,
+        weight: float = 1.0,
+    ) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(plan_pair).result()
+        return self.submit(plan_pair, tenant=tenant, weight=weight).result()
 
     @property
     def alive(self) -> bool:

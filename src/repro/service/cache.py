@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.knowledge.quantization import QuantizedVector, quantize_vector
+from repro.knowledge.sharding import DEFAULT_TENANT
 
 _MISSING = object()
 
@@ -171,12 +172,27 @@ class LRUTTLCache:
             return payload
 
 
+@dataclass
+class CacheLevels:
+    """One tenant's pair of cache levels (L1 explanations + L2 plans)."""
+
+    explanations: LRUTTLCache
+    plans: LRUTTLCache
+
+
 class ServiceCache:
     """The explanation service's two cache levels plus their invalidation.
 
     Wire :meth:`on_kb_write` into ``KnowledgeBase.add_write_listener`` and
     :meth:`on_ddl` into ``HTAPSystem.add_ddl_listener``; the service does
     this automatically.
+
+    Every tenant gets a private :class:`CacheLevels` pair (created lazily
+    by :meth:`level`), so one tenant's knowledge-base writes invalidate
+    only that tenant's explanations and a noisy tenant cannot evict a
+    quiet one's entries.  The :attr:`explanations` / :attr:`plans`
+    properties alias the default tenant's levels, keeping the
+    single-tenant API unchanged.
 
     With ``quantize_embeddings`` the L2 plan entries store their embedding
     as int8 codes (:mod:`repro.knowledge.quantization`) — ~8× less
@@ -194,21 +210,70 @@ class ServiceCache:
         quantize_embeddings: bool = False,
         clock: Callable[[], float] = time.monotonic,
     ):
-        self.explanations = LRUTTLCache(
-            explanation_capacity, ttl_seconds=explanation_ttl_seconds, clock=clock
-        )
-        self.plans = LRUTTLCache(plan_capacity, ttl_seconds=plan_ttl_seconds, clock=clock)
+        self._explanation_capacity = explanation_capacity
+        self._plan_capacity = plan_capacity
+        self._explanation_ttl = explanation_ttl_seconds
+        self._plan_ttl = plan_ttl_seconds
+        self._clock = clock
         self.quantize_embeddings = quantize_embeddings
+        self._levels_lock = threading.Lock()
+        #: tenant -> CacheLevels; replaced copy-on-write so readers may
+        #: iterate a snapshot without holding the lock.
+        self._levels: dict[str, CacheLevels] = {DEFAULT_TENANT: self._new_levels()}
+
+    def _new_levels(self) -> CacheLevels:
+        return CacheLevels(
+            explanations=LRUTTLCache(
+                self._explanation_capacity, ttl_seconds=self._explanation_ttl, clock=self._clock
+            ),
+            plans=LRUTTLCache(self._plan_capacity, ttl_seconds=self._plan_ttl, clock=self._clock),
+        )
+
+    # ------------------------------------------------------------ tenant levels
+    def level(self, tenant: str | None = None) -> CacheLevels:
+        """The (lazily created) cache pair owned by ``tenant``."""
+        name = tenant if tenant is not None else DEFAULT_TENANT
+        levels = self._levels.get(name)
+        if levels is None:
+            with self._levels_lock:
+                levels = self._levels.get(name)
+                if levels is None:
+                    levels = self._new_levels()
+                    fresh = dict(self._levels)
+                    fresh[name] = levels
+                    self._levels = fresh
+        return levels
+
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted(self._levels))
+
+    @property
+    def explanations(self) -> LRUTTLCache:
+        """The default tenant's L1 (legacy single-tenant accessor)."""
+        return self._levels[DEFAULT_TENANT].explanations
+
+    @property
+    def plans(self) -> LRUTTLCache:
+        """The default tenant's L2 (legacy single-tenant accessor)."""
+        return self._levels[DEFAULT_TENANT].plans
 
     # -------------------------------------------------------------- L2 entries
-    def put_plan(self, key: Hashable, execution: Any, embedding: Any, *, epoch: int | None = None) -> bool:
+    def put_plan(
+        self,
+        key: Hashable,
+        execution: Any,
+        embedding: Any,
+        *,
+        epoch: int | None = None,
+        tenant: str | None = None,
+    ) -> bool:
         """Store one L2 entry, quantizing the embedding when configured."""
         stored = quantize_vector(embedding) if self.quantize_embeddings else embedding
-        return self.plans.put(key, (execution, stored), epoch=epoch)
+        return self.level(tenant).plans.put(key, (execution, stored), epoch=epoch)
 
-    def get_plan(self, key: Hashable) -> tuple[Any, Any] | None:
+    def get_plan(self, key: Hashable, *, tenant: str | None = None) -> tuple[Any, Any] | None:
         """One L2 lookup; quantized embeddings are dequantized on hit."""
-        entry = self.plans.get(key)
+        entry = self.level(tenant).plans.get(key)
         if entry is None:
             return None
         execution, stored = entry
@@ -217,25 +282,42 @@ class ServiceCache:
         return execution, stored
 
     # ------------------------------------------------------------ invalidation
-    def on_kb_write(self, event: str, entry_id: str) -> None:
-        """Knowledge changed: every cached explanation may cite stale entries.
+    def on_kb_write(self, event: str, entry_id: str, tenant: str | None = None) -> None:
+        """Knowledge changed: cached explanations may cite stale entries.
 
-        Plans and embeddings are untouched — they do not depend on the KB.
+        With ``tenant`` set only that tenant's explanations drop — tenant
+        namespaces are retrieval-isolated, so tenant A's write cannot make
+        tenant B's cached answers stale.  Without it (a legacy
+        un-namespaced KB write) every tenant's explanations drop.  Plans
+        and embeddings are untouched — they do not depend on the KB.
         """
-        self.explanations.clear()
+        if tenant is not None:
+            self.level(tenant).explanations.clear()
+        else:
+            for levels in self._levels.values():
+                levels.explanations.clear()
 
     def on_ddl(self, event: str, index_name: str) -> None:
         """Schema changed: optimizer output (and hence embeddings and
-        explanations) may differ, so both levels are dropped."""
-        self.plans.clear()
-        self.explanations.clear()
+        explanations) may differ.  The simulated engines' schema is shared
+        infrastructure, so every tenant's levels are dropped."""
+        for levels in self._levels.values():
+            levels.plans.clear()
+            levels.explanations.clear()
 
     def invalidate_all(self) -> None:
         self.on_ddl("manual", "*")
 
     # ---------------------------------------------------------------- export
     def snapshot(self) -> dict[str, dict[str, float]]:
-        return {
-            "explanations": self.explanations.stats_dict(),
-            "plans": self.plans.stats_dict(),
-        }
+        """Per-level stats; the default tenant keeps the legacy flat keys,
+        other tenants appear as ``explanations.<tenant>`` / ``plans.<tenant>``."""
+        payload: dict[str, dict[str, float]] = {}
+        for tenant, levels in sorted(self._levels.items()):
+            if tenant == DEFAULT_TENANT:
+                payload["explanations"] = levels.explanations.stats_dict()
+                payload["plans"] = levels.plans.stats_dict()
+            else:
+                payload[f"explanations.{tenant}"] = levels.explanations.stats_dict()
+                payload[f"plans.{tenant}"] = levels.plans.stats_dict()
+        return payload

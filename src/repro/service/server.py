@@ -19,6 +19,12 @@ production-shaped request path:
 * **worker pool + deadlines** — a ``ThreadPoolExecutor`` drives the
   remaining stages; a request whose latency budget expires while queued is
   completed with ``DEADLINE_EXCEEDED`` rather than doing dead work;
+* **sharding + multi-tenancy** — with ``ServiceConfig(num_shards=N)`` or
+  declared ``tenants``, the knowledge base is wrapped in a
+  :class:`~repro.knowledge.sharding.ShardedKnowledgeBase` (scatter-gather
+  retrieval, per-shard locks) and every request carries a ``tenant``
+  namespace: tenant-scoped cache levels and fingerprints, per-tenant
+  quotas (``QUOTA_EXCEEDED`` rejections), and weighted fair batching;
 * **telemetry** — counters and p50/p95/p99 latency histograms exported as
   one dict by :meth:`ExplanationService.metrics_snapshot`;
 * **admin plane** — with ``ServiceConfig(admin_port=...)`` the service
@@ -40,6 +46,7 @@ from repro.explainer.pipeline import Explanation, RagExplainer, execution_result
 from repro.htap.catalog import Index
 from repro.htap.system import HTAPSystem, QueryExecution
 from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.knowledge.sharding import DEFAULT_TENANT, ShardedKnowledgeBase
 from repro.llm.client import LLMClient
 from repro.llm.prompts import PromptBuilder
 from repro.obs.tracing import NULL_SPAN, Span, get_tracer
@@ -55,6 +62,7 @@ from repro.service.cache import ServiceCache
 from repro.service.config import ServiceConfig
 from repro.service.fingerprint import request_cache_key, sql_fingerprint
 from repro.service.metrics import MetricsRegistry
+from repro.service.tenancy import TenantConfig, TenantRegistry
 
 
 def _completed(result: ExplainResult) -> "Future[ExplainResult]":
@@ -74,7 +82,7 @@ class ExplanationService:
         self,
         system: HTAPSystem,
         router: SmartRouter,
-        knowledge_base: KnowledgeBase,
+        knowledge_base: KnowledgeBase | ShardedKnowledgeBase,
         llm: LLMClient,
         *,
         config: ServiceConfig | None = None,
@@ -92,6 +100,8 @@ class ExplanationService:
         quantize_embedding_cache: bool | None = None,
         admin_port: int | None = None,
         admin_host: str | None = None,
+        num_shards: int | None = None,
+        tenants: tuple[TenantConfig, ...] | None = None,
     ):
         self.config = (config or ServiceConfig()).with_overrides(
             top_k=top_k,
@@ -107,15 +117,33 @@ class ExplanationService:
             quantize_embedding_cache=quantize_embedding_cache,
             admin_port=admin_port,
             admin_host=admin_host,
+            num_shards=num_shards,
+            tenants=tenants,
         )
         resolved = self.config
         if resolved.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if resolved.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
+        if resolved.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         self.system = system
         self.router = router
+        # Sharding / tenancy: a plain KnowledgeBase is wrapped in a
+        # ShardedKnowledgeBase (seeding its entries into the default
+        # tenant) whenever the config asks for shards or declares tenants;
+        # a pre-built ShardedKnowledgeBase passes through untouched.
+        if isinstance(knowledge_base, ShardedKnowledgeBase):
+            self._sharded = True
+        elif resolved.num_shards > 1 or resolved.tenants:
+            knowledge_base = ShardedKnowledgeBase.from_knowledge_base(
+                knowledge_base, resolved.num_shards
+            )
+            self._sharded = True
+        else:
+            self._sharded = False
         self.knowledge_base = knowledge_base
+        self.tenants = TenantRegistry(resolved.tenants)
         self.llm = llm
         self.explainer = RagExplainer(
             system, router, knowledge_base, llm,
@@ -144,7 +172,12 @@ class ExplanationService:
         self._admission_lock = threading.Lock()
         self._closed = False
         # Stale-data hooks: any DDL or knowledge write invalidates caches.
-        knowledge_base.add_write_listener(self._on_kb_write)
+        # The sharded KB reports the writing tenant, so only that tenant's
+        # explanation cache is dropped; a plain KB write drops all of them.
+        if self._sharded:
+            knowledge_base.add_write_listener(self._on_tenant_kb_write)
+        else:
+            knowledge_base.add_write_listener(self._on_kb_write)
         system.add_ddl_listener(self._on_ddl)
         #: Embedded admin HTTP server and SLO tracker (None unless
         #: ``admin_port`` is configured).
@@ -234,6 +267,13 @@ class ExplanationService:
         self.metrics.counter("invalidations.kb_write").increment()
         self.cache.on_kb_write(event, entry_id)
 
+    def _on_tenant_kb_write(self, event: str, entry_id: str, tenant: str) -> None:
+        self.metrics.counter("invalidations.kb_write").increment()
+        # The default namespace is the shared corpus grounding every
+        # tenant's retrieval, so a write to it stales all tenants' cached
+        # explanations; a tenant-namespace write stales only that tenant's.
+        self.cache.on_kb_write(event, entry_id, None if tenant == DEFAULT_TENANT else tenant)
+
     def _on_ddl(self, event: str, index_name: str) -> None:
         self.metrics.counter("invalidations.ddl").increment()
         self.cache.on_ddl(event, index_name)
@@ -256,24 +296,31 @@ class ExplanationService:
         *,
         user_notes: str | None = None,
         deadline_seconds: float | None = None,
+        tenant: str | None = None,
     ) -> "Future[ExplainResult]":
         """Admit one request; returns a future that never raises.
 
         The L1 explanation cache is consulted synchronously, so warm
         requests cost a dict lookup and never occupy a worker or a queue
         slot.  When the in-flight budget is exhausted the request is shed
-        with a ``QUEUE_FULL`` rejection.
+        with a ``QUEUE_FULL`` rejection; a tenant over its declared quota
+        is shed with ``QUOTA_EXCEEDED``.
         """
+        resolved_tenant = tenant if tenant is not None else DEFAULT_TENANT
         request = ExplainRequest(
             sql=sql,
             user_notes=user_notes,
             deadline_seconds=(
                 self.default_deadline_seconds if deadline_seconds is None else deadline_seconds
             ),
+            tenant=resolved_tenant,
         )
         self.metrics.counter("requests.submitted").increment()
+        self.metrics.counter(f"requests.tenant.{resolved_tenant}").increment()
         tracer = get_tracer()
-        root = tracer.span(ROOT_SPAN_NAME, root=True, request_id=request.request_id)
+        root = tracer.span(
+            ROOT_SPAN_NAME, root=True, request_id=request.request_id, tenant=resolved_tenant
+        )
         if self._closed:
             self.metrics.counter("requests.rejected_closed").increment()
             self._reject_span(root, ServiceErrorCode.SERVICE_CLOSED)
@@ -282,10 +329,22 @@ class ExplanationService:
                     request.request_id, ServiceErrorCode.SERVICE_CLOSED, "service is shut down"
                 )
             )
-        cache_key = request_cache_key(sql, user_notes, self.explainer.top_k)
+        if not self.tenants.try_admit(resolved_tenant):
+            self._reject_span(root, ServiceErrorCode.QUOTA_EXCEEDED)
+            return _completed(
+                ExplainResult.rejection(
+                    request.request_id,
+                    ServiceErrorCode.QUOTA_EXCEEDED,
+                    f"tenant {resolved_tenant!r} is over its request quota",
+                )
+            )
+        cache_key = request_cache_key(
+            sql, user_notes, self.explainer.top_k, tenant=resolved_tenant
+        )
+        levels = self.cache.level(resolved_tenant)
         with tracer.attach(root):
             with tracer.span("cache.l1_lookup") as lookup:
-                cached = self.cache.explanations.get(cache_key)
+                cached = levels.explanations.get(cache_key)
                 lookup.set_attribute("hit", cached is not None)
         if cached is not None:
             self.metrics.counter("requests.ok").increment()
@@ -349,9 +408,12 @@ class ExplanationService:
         *,
         user_notes: str | None = None,
         deadline_seconds: float | None = None,
+        tenant: str | None = None,
     ) -> ExplainResult:
         """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(sql, user_notes=user_notes, deadline_seconds=deadline_seconds).result()
+        return self.submit(
+            sql, user_notes=user_notes, deadline_seconds=deadline_seconds, tenant=tenant
+        ).result()
 
     def explain_many(self, sqls: Sequence[str]) -> list[ExplainResult]:
         """Submit a batch of SQL strings and gather all results."""
@@ -408,9 +470,11 @@ class ExplanationService:
             )
         # A twin request may have populated the explanation cache while this
         # one waited for a worker.
+        tenant = request.tenant
+        levels = self.cache.level(tenant)
         tracer = get_tracer()
         with tracer.span("cache.l1_lookup") as lookup:
-            cached = self.cache.explanations.get(cache_key)
+            cached = levels.explanations.get(cache_key)
             lookup.set_attribute("hit", cached is not None)
         if cached is not None:
             self.metrics.counter("requests.ok").increment()
@@ -426,23 +490,27 @@ class ExplanationService:
                 total_seconds=total,
             )
 
-        plan_key = sql_fingerprint(request.sql)
+        plan_key = sql_fingerprint(request.sql, tenant=tenant)
         # Epochs read *before* computing guard the puts below: if DDL or a KB
         # write invalidates a cache while this request is mid-flight, the
         # stale result must not be re-inserted after the clear.
-        plan_epoch = self.cache.plans.epoch
-        explanation_epoch = self.cache.explanations.epoch
+        plan_epoch = levels.plans.epoch
+        explanation_epoch = levels.explanations.epoch
         with tracer.span("cache.l2_lookup") as lookup:
-            plan_entry = self.cache.get_plan(plan_key)
+            plan_entry = self.cache.get_plan(plan_key, tenant=tenant)
             lookup.set_attribute("hit", plan_entry is not None)
         encode_seconds = 0.0
         if plan_entry is None:
             execution: QueryExecution = self.system.run_both(request.sql)
             encode_start = time.perf_counter()
             with tracer.span("pipeline.encode", batched=True):
-                embedding = self.batcher.encode(execution.plan_pair)
+                embedding = self.batcher.encode(
+                    execution.plan_pair,
+                    tenant=tenant,
+                    weight=self.tenants.weight(tenant),
+                )
             encode_seconds = time.perf_counter() - encode_start
-            self.cache.put_plan(plan_key, execution, embedding, epoch=plan_epoch)
+            self.cache.put_plan(plan_key, execution, embedding, epoch=plan_epoch, tenant=tenant)
             plan_cache_hit = False
         else:
             execution, embedding = plan_entry
@@ -466,7 +534,9 @@ class ExplanationService:
                 total_seconds=elapsed,
             )
 
-        retrieval = self.explainer.retrieve_stage(embedding)
+        retrieval = self.explainer.retrieve_stage(
+            embedding, tenant=tenant if self._sharded else None
+        )
         explanation: Explanation = self.explainer.generate_stage(
             execution.plan_pair,
             embedding,
@@ -476,7 +546,7 @@ class ExplanationService:
             faster_engine=execution.faster_engine,
             user_notes=request.user_notes,
         )
-        self.cache.explanations.put(cache_key, explanation, epoch=explanation_epoch)
+        levels.explanations.put(cache_key, explanation, epoch=explanation_epoch)
         self.metrics.counter("requests.ok").increment()
         total = time.perf_counter() - request.submitted_at
         self.metrics.histogram("latency.cold_seconds").record(total)
@@ -496,6 +566,8 @@ class ExplanationService:
         payload = self.metrics.snapshot()
         payload["cache"] = self.cache.snapshot()
         payload["batching"] = self.batcher.stats()
+        if self._sharded:
+            payload["sharding"] = self.knowledge_base.stats()
         with self._admission_lock:
             payload["in_flight"] = self._in_flight
         payload["max_in_flight"] = self.max_in_flight
@@ -512,13 +584,18 @@ class ExplanationService:
         # Unhook the invalidation listeners so a discarded service does not
         # keep receiving callbacks from long-lived system objects.
         try:
-            self.knowledge_base.remove_write_listener(self._on_kb_write)
+            if self._sharded:
+                self.knowledge_base.remove_write_listener(self._on_tenant_kb_write)
+            else:
+                self.knowledge_base.remove_write_listener(self._on_kb_write)
         except ValueError:
             pass
         try:
             self.system.remove_ddl_listener(self._on_ddl)
         except ValueError:
             pass
+        if self._sharded:
+            self.knowledge_base.close()
 
     def __enter__(self) -> "ExplanationService":
         return self

@@ -1,0 +1,312 @@
+"""Consistent-hash ring properties and ShardedKnowledgeBase behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.knowledge_base import KnowledgeBase
+from repro.knowledge.sharding import (
+    DEFAULT_TENANT,
+    ConsistentHashRing,
+    ShardedKnowledgeBase,
+    namespaced_key,
+)
+from repro.knowledge.vector_store import HNSWVectorStore
+
+
+def make_entry(i: int, rng: np.random.Generator, dim: int = 8) -> KnowledgeEntry:
+    return KnowledgeEntry(
+        entry_id=f"entry-{i}",
+        embedding=rng.normal(size=dim),
+        sql=f"SELECT {i} FROM t",
+        plan_details="plan",
+        faster_engine="tp",
+        tp_latency_seconds=0.1,
+        ap_latency_seconds=0.2,
+        expert_explanation="because",
+        factors=("selectivity",),
+    )
+
+
+def make_entries(n: int, seed: int = 0) -> list[KnowledgeEntry]:
+    rng = np.random.default_rng(seed)
+    return [make_entry(i, rng) for i in range(n)]
+
+
+# --------------------------------------------------------------------- ring
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=50, unique=True))
+def test_ring_assignment_is_stable(keys):
+    """The same key maps to the same shard on independently built rings."""
+    ring_a = ConsistentHashRing(["s0", "s1", "s2"])
+    ring_b = ConsistentHashRing(["s2", "s0", "s1"])  # insertion order irrelevant
+    for key in keys:
+        assert ring_a.shard_for(key) == ring_b.shard_for(key)
+
+
+def test_ring_uniform_within_tolerance():
+    """With vnodes, no shard owns a grossly disproportionate key share."""
+    shards = [f"s{i}" for i in range(4)]
+    ring = ConsistentHashRing(shards, vnodes=128)
+    counts = dict.fromkeys(shards, 0)
+    total = 4000
+    for i in range(total):
+        counts[ring.shard_for(f"key-{i}")] += 1
+    expected = total / len(shards)
+    for shard, count in counts.items():
+        assert 0.5 * expected <= count <= 1.6 * expected, (shard, counts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_ring_add_shard_moves_bounded_fraction(seed):
+    """Adding one shard to N moves roughly K/(N+1) keys, never a reshuffle."""
+    ring = ConsistentHashRing([f"s{i}" for i in range(4)], vnodes=128)
+    keys = [f"key-{seed}-{i}" for i in range(1500)]
+    before = {key: ring.shard_for(key) for key in keys}
+    ring.add_shard("s-new")
+    moved = sum(1 for key in keys if ring.shard_for(key) != before[key])
+    # Ideal is K/(N+1) = 20%; allow generous slack for vnode imbalance but
+    # fail hard on anything near a full reshuffle.
+    assert moved <= 0.40 * len(keys)
+    # Every moved key must have moved *to* the new shard, not between old ones.
+    for key in keys:
+        now = ring.shard_for(key)
+        assert now == before[key] or now == "s-new"
+
+
+def test_ring_remove_shard_moves_only_its_keys():
+    ring = ConsistentHashRing([f"s{i}" for i in range(5)], vnodes=128)
+    keys = [f"key-{i}" for i in range(1500)]
+    before = {key: ring.shard_for(key) for key in keys}
+    ring.remove_shard("s2")
+    for key in keys:
+        if before[key] == "s2":
+            assert ring.shard_for(key) != "s2"
+        else:
+            assert ring.shard_for(key) == before[key]
+
+
+def test_ring_rejects_duplicates_and_unknown():
+    ring = ConsistentHashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add_shard("a")
+    with pytest.raises(KeyError):
+        ring.remove_shard("zz")
+    with pytest.raises(RuntimeError):
+        ConsistentHashRing().shard_for("key")
+
+
+# ------------------------------------------------------------- sharded KB
+def test_sharded_retrieval_matches_plain_kb():
+    """Flat-store scatter-gather returns exactly the plain KB's top-k."""
+    entries = make_entries(150)
+    plain = KnowledgeBase()
+    plain.add_many(entries)
+    sharded = ShardedKnowledgeBase(4)
+    sharded.add_many(entries)
+    rng = np.random.default_rng(42)
+    try:
+        for _ in range(20):
+            query = rng.normal(size=8)
+            expected = [(h.entry.entry_id, h.distance) for h in plain.retrieve(query, k=5).hits]
+            got = [(h.entry.entry_id, h.distance) for h in sharded.retrieve(query, k=5).hits]
+            assert [e[0] for e in expected] == [g[0] for g in got]
+            for (_, d_expected), (_, d_got) in zip(expected, got):
+                assert d_expected == pytest.approx(d_got)
+    finally:
+        sharded.close()
+
+
+def test_from_knowledge_base_seeds_default_tenant():
+    entries = make_entries(40)
+    plain = KnowledgeBase()
+    plain.add_many(entries)
+    sharded = ShardedKnowledgeBase.from_knowledge_base(plain, 3)
+    try:
+        assert len(sharded) == 40
+        assert sharded.tenants() == (DEFAULT_TENANT,)
+        assert sharded.count(tenant=DEFAULT_TENANT) == 40
+        assert sum(sharded.shard_sizes().values()) == 40
+    finally:
+        sharded.close()
+
+
+def test_crud_round_trip_and_errors():
+    sharded = ShardedKnowledgeBase(3)
+    entries = make_entries(10)
+    try:
+        sharded.add_many(entries[:9])
+        sharded.add(entries[9])
+        assert len(sharded) == 10
+        assert "entry-3" in sharded
+        assert sharded.get("entry-3").entry_id == "entry-3"
+        sharded.correct("entry-3", "corrected text", ("new-factor",))
+        assert sharded.get("entry-3").expert_explanation == "corrected text"
+        removed = sharded.remove("entry-3")
+        assert removed.entry_id == "entry-3"
+        assert "entry-3" not in sharded
+        with pytest.raises(KeyError):
+            sharded.get("entry-3")
+        with pytest.raises(KeyError):
+            sharded.remove("entry-3")
+        with pytest.raises(KeyError):
+            sharded.correct("nope", "x")
+    finally:
+        sharded.close()
+
+
+def test_tenant_namespaces_are_isolated():
+    sharded = ShardedKnowledgeBase(3)
+    rng = np.random.default_rng(1)
+    try:
+        sharded.add_many(make_entries(30), tenant="tenant-a")
+        sharded.add_many(make_entries(5, seed=9), tenant="tenant-b")
+        assert sharded.count(tenant="tenant-a") == 30
+        assert sharded.count(tenant="tenant-b") == 5
+        assert sharded.tenants() == ("tenant-a", "tenant-b")
+        # Same entry id may exist under both tenants independently.
+        assert sharded.contains("entry-0", tenant="tenant-a")
+        assert sharded.contains("entry-0", tenant="tenant-b")
+        assert not sharded.contains("entry-0")  # default tenant is empty
+        # Retrieval never crosses tenants.
+        query = rng.normal(size=8)
+        hits = sharded.retrieve(query, k=50, tenant="tenant-b").hits
+        assert len(hits) == 5
+        ids_b = {f"entry-{i}" for i in range(5)}
+        assert {h.entry.entry_id for h in hits} <= ids_b
+        assert sharded.retrieve(query, k=5).hits == []  # default tenant empty
+    finally:
+        sharded.close()
+
+
+def test_tenant_retrieval_grounds_on_shared_corpus():
+    """The default namespace is the shared corpus: tenant retrieval unions
+    it with the tenant's own entries, and a tenant entry shadows a shared
+    entry with the same id."""
+    sharded = ShardedKnowledgeBase(3)
+    rng = np.random.default_rng(7)
+    try:
+        shared = make_entries(20)
+        sharded.add_many(shared)  # default tenant = shared corpus
+        query = rng.normal(size=8)
+        # A tenant with no entries of its own still retrieves shared hits.
+        baseline = [h.entry.entry_id for h in sharded.retrieve(query, k=5, tenant="acme").hits]
+        assert baseline == [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits]
+        # The tenant's private entry joins the merged ranking...
+        private = make_entry(999, rng)
+        private = dataclasses_replace_embedding(private, query)  # distance ~0
+        sharded.add(private, tenant="acme")
+        top = sharded.retrieve(query, k=1, tenant="acme").hits[0]
+        assert top.entry.entry_id == "entry-999"
+        # ...but stays invisible to other tenants and to the default view.
+        zeta_ids = {h.entry.entry_id for h in sharded.retrieve(query, k=20, tenant="zeta").hits}
+        assert "entry-999" not in zeta_ids
+        default_ids = {h.entry.entry_id for h in sharded.retrieve(query, k=20).hits}
+        assert "entry-999" not in default_ids
+        # Shadowing: a tenant entry with a shared id wins the merge.
+        override = dataclasses_replace_embedding(make_entry(0, rng), query)
+        sharded.add(override, tenant="beta")
+        best_beta = sharded.retrieve(query, k=1, tenant="beta").hits[0]
+        assert best_beta.entry.entry_id == "entry-0"
+        assert best_beta.distance == pytest.approx(0.0, abs=1e-9)
+    finally:
+        sharded.close()
+
+
+def dataclasses_replace_embedding(entry: KnowledgeEntry, embedding) -> KnowledgeEntry:
+    import dataclasses
+
+    return dataclasses.replace(entry, embedding=np.asarray(embedding, dtype=np.float64))
+
+
+def test_write_listener_reports_tenant():
+    sharded = ShardedKnowledgeBase(2)
+    events: list[tuple[str, str, str]] = []
+    sharded.add_write_listener(lambda *args: events.append(args))
+    entries = make_entries(2)
+    try:
+        sharded.add(entries[0], tenant="acme")
+        sharded.add(entries[1])
+        sharded.correct("entry-1", "fixed")
+        sharded.remove("entry-0", tenant="acme")
+        assert events == [
+            ("add", "entry-0", "acme"),
+            ("add", "entry-1", DEFAULT_TENANT),
+            ("correct", "entry-1", DEFAULT_TENANT),
+            ("remove", "entry-0", "acme"),
+        ]
+        sharded.remove_write_listener(sharded._listeners[0])
+    finally:
+        sharded.close()
+
+
+def test_rebalance_add_and_remove_shard():
+    entries = make_entries(200)
+    sharded = ShardedKnowledgeBase(4, vnodes=128)
+    rng = np.random.default_rng(3)
+    query = rng.normal(size=8)
+    try:
+        sharded.add_many(entries)
+        baseline = [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits]
+        report = sharded.add_shard()
+        assert report.total_entries == 200
+        # Bounded movement: ~K/(N+1) ideally, never a wholesale reshuffle.
+        assert report.moved_entries <= 0.40 * 200
+        assert len(sharded) == 200
+        assert sharded.num_shards == 5
+        assert [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits] == baseline
+        # Ring placement invariant: every entry lives where the ring says.
+        for entry in entries[:50]:
+            assert sharded.get(entry.entry_id).entry_id == entry.entry_id
+
+        report2 = sharded.remove_shard(report.shard)
+        assert sharded.num_shards == 4
+        assert len(sharded) == 200
+        assert report2.moved_entries <= 0.40 * 200
+        assert [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits] == baseline
+    finally:
+        sharded.close()
+
+
+def test_remove_last_shard_rejected():
+    sharded = ShardedKnowledgeBase(1)
+    try:
+        with pytest.raises(ValueError):
+            sharded.remove_shard(sharded.shard_names[0])
+        with pytest.raises(KeyError):
+            sharded.remove_shard("missing")
+    finally:
+        sharded.close()
+
+
+def test_hnsw_store_factory_and_stats():
+    sharded = ShardedKnowledgeBase(
+        3, store_factory=lambda: HNSWVectorStore(M=8, ef_construction=32, ef_search=16)
+    )
+    try:
+        sharded.add_many(make_entries(60))
+        rng = np.random.default_rng(5)
+        hits = sharded.retrieve(rng.normal(size=8), k=4).hits
+        assert len(hits) == 4
+        stats = sharded.stats()
+        assert stats["num_shards"] == 3
+        assert stats["entries"] == 60
+        assert stats["tenants"] == 1
+        assert sum(stats["shard_sizes"].values()) == 60
+    finally:
+        sharded.close()
+
+
+def test_namespaced_key_shapes_ring_placement():
+    """Tenant is folded into the ring key, so the same entry id can land on
+    different shards for different tenants."""
+    ring = ConsistentHashRing([f"s{i}" for i in range(8)], vnodes=64)
+    placements = {
+        tenant: ring.shard_for(namespaced_key(tenant, "entry-1"))
+        for tenant in ("a", "b", "c", "d", "e", "f")
+    }
+    assert len(set(placements.values())) > 1

@@ -1,0 +1,215 @@
+"""Concurrent reader/writer/rebalance stress for the sharded KB.
+
+Marked ``shard_stress`` so CI runs these in a dedicated job; they also
+stay short enough to ride along in the default (tier-1) run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.knowledge.entry import KnowledgeEntry
+from repro.knowledge.sharding import ShardedKnowledgeBase
+from repro.knowledge.vector_store import HNSWVectorStore
+
+pytestmark = pytest.mark.shard_stress
+
+
+def make_entry(name: str, rng: np.random.Generator, dim: int = 8) -> KnowledgeEntry:
+    return KnowledgeEntry(
+        entry_id=name,
+        embedding=rng.normal(size=dim),
+        sql=f"SELECT * FROM t -- {name}",
+        plan_details="plan",
+        faster_engine="ap",
+        tp_latency_seconds=0.2,
+        ap_latency_seconds=0.1,
+        expert_explanation="because",
+        factors=("scan",),
+    )
+
+
+def test_concurrent_readers_and_writers_never_error():
+    rng = np.random.default_rng(11)
+    sharded = ShardedKnowledgeBase(4)
+    sharded.add_many([make_entry(f"seed-{i}", rng) for i in range(120)])
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def writer(worker: int) -> None:
+        wrng = np.random.default_rng(100 + worker)
+        serial = 0
+        try:
+            while not stop.is_set():
+                name = f"w{worker}-{serial}"
+                sharded.add(make_entry(name, wrng))
+                if serial % 3 == 0:
+                    sharded.correct(name, "updated")
+                sharded.remove(name)
+                serial += 1
+        except BaseException as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    def reader(worker: int) -> None:
+        qrng = np.random.default_rng(200 + worker)
+        try:
+            for _ in range(150):
+                hits = sharded.retrieve(qrng.normal(size=8), k=5).hits
+                assert len(hits) == 5
+                # Seed entries never churn, so lookups must always succeed.
+                sharded.get(f"seed-{int(qrng.integers(0, 120))}")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    writers = [threading.Thread(target=writer, args=(i,)) for i in range(2)]
+    readers = [threading.Thread(target=reader, args=(i,)) for i in range(3)]
+    try:
+        for thread in writers + readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=30)
+    finally:
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=30)
+        sharded.close()
+    assert not errors, errors
+    assert sharded.count() == 120  # every churn entry was removed again
+
+
+def test_retrieval_stays_correct_during_rebalance():
+    rng = np.random.default_rng(17)
+    entries = [make_entry(f"e-{i}", rng) for i in range(160)]
+    sharded = ShardedKnowledgeBase(3, vnodes=128)
+    sharded.add_many(entries)
+    queries = [rng.normal(size=8) for _ in range(8)]
+    expected = [
+        [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits] for query in queries
+    ]
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                for query, want in zip(queries, expected):
+                    got = [h.entry.entry_id for h in sharded.retrieve(query, k=5).hits]
+                    # Flat stores are exact: the top-k set must be identical
+                    # at every instant of the add-before-remove move window.
+                    assert got == want, (got, want)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    try:
+        for thread in readers:
+            thread.start()
+        added = []
+        for _ in range(3):
+            added.append(sharded.add_shard().shard)
+        for name in added:
+            sharded.remove_shard(name)
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        sharded.close()
+    assert not errors, errors
+    assert sharded.num_shards == 3
+    assert len(sharded) == 160
+
+
+def test_hnsw_bulk_ingest_under_concurrent_retrieval():
+    """The bench scenario in miniature: bulk add_many on HNSW shards while
+    readers retrieve — no errors, no empty results once seeded."""
+    rng = np.random.default_rng(23)
+    sharded = ShardedKnowledgeBase(
+        4, store_factory=lambda: HNSWVectorStore(M=8, ef_construction=32, ef_search=16)
+    )
+    sharded.add_many([make_entry(f"seed-{i}", rng) for i in range(80)])
+    errors: list[BaseException] = []
+    done = threading.Event()
+
+    def writer() -> None:
+        wrng = np.random.default_rng(99)
+        try:
+            for batch in range(6):
+                sharded.add_many([make_entry(f"b{batch}-{i}", wrng) for i in range(24)])
+            for batch in range(6):
+                for i in range(24):
+                    sharded.remove(f"b{batch}-{i}")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader(worker: int) -> None:
+        qrng = np.random.default_rng(300 + worker)
+        try:
+            while not done.is_set():
+                hits = sharded.retrieve(qrng.normal(size=8), k=3).hits
+                assert len(hits) == 3
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    writer_thread = threading.Thread(target=writer)
+    readers = [threading.Thread(target=reader, args=(i,)) for i in range(3)]
+    try:
+        for thread in [writer_thread, *readers]:
+            thread.start()
+    finally:
+        writer_thread.join(timeout=60)
+        done.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        sharded.close()
+    assert not errors, errors
+    assert sharded.count() == 80
+
+
+def test_per_tenant_writes_do_not_block_other_tenants_reads():
+    rng = np.random.default_rng(31)
+    sharded = ShardedKnowledgeBase(4)
+    sharded.add_many([make_entry(f"a-{i}", rng) for i in range(60)], tenant="a")
+    sharded.add_many([make_entry(f"b-{i}", rng) for i in range(60)], tenant="b")
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def writer_a() -> None:
+        wrng = np.random.default_rng(55)
+        serial = 0
+        try:
+            while not stop.is_set():
+                name = f"churn-{serial}"
+                sharded.add(make_entry(name, wrng), tenant="a")
+                sharded.remove(name, tenant="a")
+                serial += 1
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def reader_b() -> None:
+        qrng = np.random.default_rng(66)
+        try:
+            for _ in range(200):
+                hits = sharded.retrieve(qrng.normal(size=8), k=4, tenant="b").hits
+                assert len(hits) == 4
+                assert all(h.entry.entry_id.startswith("b-") for h in hits)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    writer_thread = threading.Thread(target=writer_a)
+    reader_thread = threading.Thread(target=reader_b)
+    try:
+        writer_thread.start()
+        reader_thread.start()
+        reader_thread.join(timeout=30)
+    finally:
+        stop.set()
+        writer_thread.join(timeout=30)
+        sharded.close()
+    assert not errors, errors
+    assert sharded.count(tenant="a") == 60
+    assert sharded.count(tenant="b") == 60
